@@ -1,0 +1,241 @@
+// Benchmarks regenerating the paper's evaluation (one per figure) plus
+// micro-benchmarks of the index structures and ablations of the design
+// decisions called out in DESIGN.md. Figure benches run the Small
+// workloads; `go run ./cmd/experiments -size paper` regenerates full-scale
+// numbers.
+package subseq_test
+
+import (
+	"testing"
+
+	subseq "repro"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/metric"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+)
+
+// sinkRows prevents the compiler from discarding experiment results.
+var sinkRows int
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry[id]
+	for i := 0; i < b.N; i++ {
+		for _, t := range runner(experiments.Small) {
+			sinkRows += len(t.Rows)
+		}
+	}
+}
+
+func BenchmarkFig04DistanceDistributions(b *testing.B) { benchFigure(b, "fig04") }
+func BenchmarkFig05SpaceProteins(b *testing.B)         { benchFigure(b, "fig05") }
+func BenchmarkFig06SpaceSongs(b *testing.B)            { benchFigure(b, "fig06") }
+func BenchmarkFig07SpaceTraj(b *testing.B)             { benchFigure(b, "fig07") }
+func BenchmarkFig08QueryProteins(b *testing.B)         { benchFigure(b, "fig08") }
+func BenchmarkFig09QuerySongsDFD(b *testing.B)         { benchFigure(b, "fig09") }
+func BenchmarkFig10QueryTrajERP(b *testing.B)          { benchFigure(b, "fig10") }
+func BenchmarkFig11QueryTrajDFD(b *testing.B)          { benchFigure(b, "fig11") }
+func BenchmarkFig12MatchingWindows(b *testing.B)       { benchFigure(b, "fig12") }
+
+// --- Index micro-benchmarks (PROTEINS windows, Levenshtein) ---
+
+func proteinWindows(n int) []seq.Window[byte] {
+	return data.Proteins(n, 20, 1).Windows[:n]
+}
+
+func windowLev(a, b seq.Window[byte]) float64 { return dist.LevenshteinFast(a.Data, b.Data) }
+
+func BenchmarkRefNetInsert(b *testing.B) {
+	wins := proteinWindows(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := refnet.New(metric.DistFunc[seq.Window[byte]](windowLev))
+		for _, w := range wins {
+			net.Insert(w)
+		}
+	}
+}
+
+func builtNet(wins []seq.Window[byte], opts ...refnet.Option) *refnet.Net[seq.Window[byte]] {
+	net := refnet.New(metric.DistFunc[seq.Window[byte]](windowLev), opts...)
+	for _, w := range wins {
+		net.Insert(w)
+	}
+	return net
+}
+
+func BenchmarkRefNetRangeSmallRadius(b *testing.B) {
+	wins := proteinWindows(5000)
+	net := builtNet(wins)
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(net.Range(q, 2))
+	}
+}
+
+func BenchmarkRefNetRangeLargeRadius(b *testing.B) {
+	wins := proteinWindows(5000)
+	net := builtNet(wins)
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(net.Range(q, 12))
+	}
+}
+
+func BenchmarkCoverTreeRange(b *testing.B) {
+	wins := proteinWindows(5000)
+	ct := subseq.NewCoverTree(windowLev, 1)
+	for _, w := range wins {
+		ct.Insert(w)
+	}
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(ct.Range(q, 2))
+	}
+}
+
+func BenchmarkMVIndexRange(b *testing.B) {
+	wins := proteinWindows(5000)
+	idx, err := subseq.NewMVIndex(wins, 5, windowLev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(idx.Range(q, 2))
+	}
+}
+
+func BenchmarkLinearScanRange(b *testing.B) {
+	wins := proteinWindows(5000)
+	ls := metric.NewLinearScan(metric.DistFunc[seq.Window[byte]](windowLev))
+	for _, w := range wins {
+		ls.Insert(w)
+	}
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(ls.Range(q, 2))
+	}
+}
+
+// --- Framework benchmarks ---
+
+func proteinMatcher(b *testing.B, windows int) (*subseq.Matcher[byte], subseq.Sequence[byte]) {
+	b.Helper()
+	ds := data.Proteins(windows, 20, 1)
+	mt, err := subseq.NewMatcher(subseq.LevenshteinFastMeasure(), subseq.Config{
+		Params: subseq.Params{Lambda: 40, Lambda0: 1},
+	}, ds.Sequences)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := data.RandomQuery(ds, 60, 0.1, data.MutateAA, 9)
+	return mt, q
+}
+
+func BenchmarkMatcherFilterHits(b *testing.B) {
+	mt, q := proteinMatcher(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(mt.FilterHits(q, 4))
+	}
+}
+
+func BenchmarkMatcherLongest(b *testing.B) {
+	mt, q := proteinMatcher(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := mt.Longest(q, 4); ok {
+			sinkRows++
+		}
+	}
+}
+
+// --- Ablations (design decisions from DESIGN.md §5) ---
+
+// Ablation 1: generic DP Levenshtein vs byte-specialised DP vs Myers'
+// bit-parallel implementation.
+func BenchmarkAblationLevenshteinGeneric(b *testing.B) {
+	d := dist.Levenshtein[byte]()
+	x := []byte("ACDEFGHIKLMNPQRSTVWY")
+	y := []byte("YWVTSRQPNMLKIHGFEDCA")
+	for i := 0; i < b.N; i++ {
+		sinkRows += int(d(x, y))
+	}
+}
+
+func BenchmarkAblationLevenshteinBytesDP(b *testing.B) {
+	x := []byte("ACDEFGHIKLMNPQRSTVWY")
+	y := []byte("YWVTSRQPNMLKIHGFEDCA")
+	for i := 0; i < b.N; i++ {
+		sinkRows += int(dist.LevenshteinBytes(x, y))
+	}
+}
+
+func BenchmarkAblationLevenshteinMyers(b *testing.B) {
+	x := []byte("ACDEFGHIKLMNPQRSTVWY")
+	y := []byte("YWVTSRQPNMLKIHGFEDCA")
+	for i := 0; i < b.N; i++ {
+		sinkRows += int(dist.LevenshteinFast(x, y))
+	}
+}
+
+// Ablation 2: stored-edge bounds in range queries on vs off. The custom
+// metric reports distance computations per query alongside wall time.
+func benchEdgeBounds(b *testing.B, on bool) {
+	wins := proteinWindows(5000)
+	counter := metric.NewCounter(metric.DistFunc[seq.Window[byte]](windowLev))
+	net := refnet.New(counter.Distance, refnet.WithEdgeBounds(on))
+	for _, w := range wins {
+		net.Insert(w)
+	}
+	q := seq.Window[byte]{SeqID: -1, Data: wins[17].Data}
+	counter.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkRows += len(net.Range(q, 4))
+	}
+	b.ReportMetric(float64(counter.Calls())/float64(b.N), "dist/op")
+}
+
+func BenchmarkAblationEdgeBoundsOn(b *testing.B)  { benchEdgeBounds(b, true) }
+func BenchmarkAblationEdgeBoundsOff(b *testing.B) { benchEdgeBounds(b, false) }
+
+// Ablation 3: batched range queries vs sequential ones.
+func BenchmarkAblationBatchRange(b *testing.B) {
+	wins := proteinWindows(3000)
+	net := builtNet(wins)
+	qs := make([]seq.Window[byte], 32)
+	for i := range qs {
+		qs[i] = seq.Window[byte]{SeqID: -1, Data: wins[i*37].Data}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range net.BatchRange(qs, 4) {
+			sinkRows += len(r)
+		}
+	}
+}
+
+func BenchmarkAblationSequentialRange(b *testing.B) {
+	wins := proteinWindows(3000)
+	net := builtNet(wins)
+	qs := make([]seq.Window[byte], 32)
+	for i := range qs {
+		qs[i] = seq.Window[byte]{SeqID: -1, Data: wins[i*37].Data}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			sinkRows += len(net.Range(q, 4))
+		}
+	}
+}

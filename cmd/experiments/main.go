@@ -1,0 +1,72 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// (Section 8, Figures 4–12) and prints them as aligned tables or CSV.
+//
+// Usage:
+//
+//	experiments [-fig all|4|fig04|...] [-size small|paper] [-csv]
+//
+// -size small (default) runs second-scale workloads; -size paper
+// approximates the paper's dataset sizes (100K windows; minutes per
+// figure). EXPERIMENTS.md records the expected shapes next to the paper's
+// reported results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: all, 4..12, or fig04..fig12")
+	sizeStr := flag.String("size", "small", "workload size: small or paper")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	size, err := experiments.ParseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var ids []string
+	switch {
+	case *fig == "all":
+		ids = experiments.IDs()
+	case strings.HasPrefix(*fig, "fig"):
+		ids = []string{*fig}
+	default:
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "invalid -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{fmt.Sprintf("fig%02d", n)}
+	}
+
+	for _, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; available: %s\n",
+				id, strings.Join(experiments.IDs(), " "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := runner(size)
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s: %s\n", t.ID, t.Title)
+				t.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				t.Fprint(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

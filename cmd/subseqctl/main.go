@@ -1,0 +1,214 @@
+// Command subseqctl is a workbench for the subsequence-retrieval
+// framework: it generates the synthetic datasets, builds window indexes,
+// reports their structure, and runs the three query types.
+//
+// Usage:
+//
+//	subseqctl stats -dataset proteins -windows 5000
+//	    build a reference net over the dataset's windows and print its
+//	    structural statistics and level histogram.
+//
+//	subseqctl query -dataset songs -windows 2000 -type II -eps 3 -querylen 60
+//	    generate a mutated query from the dataset and run a query:
+//	    -type I (all pairs), II (longest), III (nearest).
+//
+//	subseqctl distances -dataset traj -windows 2000 -samples 10000
+//	    print the pairwise window distance distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
+	case "distances":
+		cmdDistances(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: subseqctl <stats|query|distances> [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "subseqctl:", err)
+	os.Exit(1)
+}
+
+// withDataset dispatches on the dataset name, handing typed windows,
+// measure and matcher-builder to the callback through a small adapter
+// interface (the three datasets have three element types).
+type session interface {
+	numWindows() int
+	netStats() (refnet.Stats, []struct{ Level, Count int })
+	distanceSample(samples int) []float64
+	runQuery(qlen int, mutationRate float64, typ string, eps float64, seed uint64) (string, error)
+}
+
+type typedSession[E any] struct {
+	ds      data.Dataset[E]
+	measure dist.Measure[E]
+	mkQuery func(qlen int, rate float64, seed uint64) seq.Sequence[E]
+}
+
+func (s *typedSession[E]) numWindows() int { return len(s.ds.Windows) }
+
+func (s *typedSession[E]) netStats() (refnet.Stats, []struct{ Level, Count int }) {
+	net := refnet.New(func(a, b seq.Window[E]) float64 { return s.measure.Fn(a.Data, b.Data) })
+	for _, w := range s.ds.Windows {
+		net.Insert(w)
+	}
+	return net.Stats(), net.LevelHistogram()
+}
+
+func (s *typedSession[E]) distanceSample(samples int) []float64 {
+	return stats.SampleDistances(s.ds.Windows,
+		func(a, b seq.Window[E]) float64 { return s.measure.Fn(a.Data, b.Data) }, samples, 1)
+}
+
+func (s *typedSession[E]) runQuery(qlen int, rate float64, typ string, eps float64, seed uint64) (string, error) {
+	mt, err := core.NewMatcher(s.measure, core.Config{
+		Params: core.Params{Lambda: 2 * s.ds.WindowLen, Lambda0: 1},
+	}, s.ds.Sequences)
+	if err != nil {
+		return "", err
+	}
+	q := s.mkQuery(qlen, rate, seed)
+	switch typ {
+	case "I":
+		ms := mt.FindAll(q, eps)
+		return fmt.Sprintf("type I: %d similar pairs at eps=%g (filter calls %d, verify calls %d)",
+			len(ms), eps, mt.FilterDistanceCalls(), mt.VerifyDistanceCalls()), nil
+	case "II":
+		m, ok := mt.Longest(q, eps)
+		if !ok {
+			return fmt.Sprintf("type II: no pair within eps=%g", eps), nil
+		}
+		return fmt.Sprintf("type II: longest %v (filter calls %d)", m, mt.FilterDistanceCalls()), nil
+	case "III":
+		m, ok := mt.Nearest(q, core.NearestOptions{EpsMax: eps, EpsInc: eps / 16})
+		if !ok {
+			return fmt.Sprintf("type III: no pair within eps=%g", eps), nil
+		}
+		return fmt.Sprintf("type III: nearest %v (filter calls %d)", m, mt.FilterDistanceCalls()), nil
+	default:
+		return "", fmt.Errorf("unknown query type %q (want I, II or III)", typ)
+	}
+}
+
+func newSession(dataset string, windows int, seed uint64) (session, error) {
+	const wl = 20
+	switch dataset {
+	case "proteins":
+		ds := data.Proteins(windows, wl, seed)
+		return &typedSession[byte]{
+			ds:      ds,
+			measure: dist.LevenshteinFastMeasure(),
+			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[byte] {
+				return data.RandomQuery(ds, qlen, rate, data.MutateAA, s)
+			},
+		}, nil
+	case "songs":
+		ds := data.Songs(windows, wl, seed)
+		return &typedSession[float64]{
+			ds:      ds,
+			measure: dist.DiscreteFrechetMeasure(dist.AbsDiff),
+			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[float64] {
+				return data.RandomQuery(ds, qlen, rate, data.MutatePitch, s)
+			},
+		}, nil
+	case "traj":
+		ds := data.Trajectories(windows, wl, seed)
+		return &typedSession[seq.Point2]{
+			ds:      ds,
+			measure: dist.ERPMeasure(dist.Point2Dist, seq.Point2{}),
+			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[seq.Point2] {
+				return data.RandomQuery(ds, qlen, rate, data.MutatePoint, s)
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want proteins, songs or traj)", dataset)
+	}
+}
+
+func commonFlags(fs *flag.FlagSet) (dataset *string, windows *int, seed *uint64) {
+	dataset = fs.String("dataset", "proteins", "dataset: proteins, songs or traj")
+	windows = fs.Int("windows", 2000, "number of database windows to generate")
+	seed = fs.Uint64("seed", 1, "generator seed")
+	return
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dataset, windows, seed := commonFlags(fs)
+	fs.Parse(args)
+	s, err := newSession(*dataset, *windows, *seed)
+	if err != nil {
+		fail(err)
+	}
+	st, hist := s.netStats()
+	fmt.Printf("dataset=%s windows=%d\n", *dataset, s.numWindows())
+	fmt.Printf("reference net: %v\n", st)
+	fmt.Println("level histogram:")
+	for _, h := range hist {
+		fmt.Printf("  level %2d: %d nodes\n", h.Level, h.Count)
+	}
+}
+
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dataset, windows, seed := commonFlags(fs)
+	typ := fs.String("type", "II", "query type: I, II or III")
+	eps := fs.Float64("eps", 3, "query radius (for III: the maximum radius)")
+	qlen := fs.Int("querylen", 60, "query length")
+	rate := fs.Float64("mutation", 0.1, "query mutation rate")
+	fs.Parse(args)
+	s, err := newSession(*dataset, *windows, *seed)
+	if err != nil {
+		fail(err)
+	}
+	out, err := s.runQuery(*qlen, *rate, *typ, *eps, *seed+100)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(out)
+}
+
+func cmdDistances(args []string) {
+	fs := flag.NewFlagSet("distances", flag.ExitOnError)
+	dataset, windows, seed := commonFlags(fs)
+	samples := fs.Int("samples", 10000, "number of sampled pairs")
+	fs.Parse(args)
+	s, err := newSession(*dataset, *windows, *seed)
+	if err != nil {
+		fail(err)
+	}
+	sample := s.distanceSample(*samples)
+	sum := stats.Summarize(sample)
+	fmt.Printf("dataset=%s windows=%d %v\n", *dataset, s.numWindows(), sum)
+	h := stats.NewHistogram(sum.Min, sum.Max+1e-9, 24)
+	for _, v := range sample {
+		h.Add(v)
+	}
+	fmt.Printf("distribution [%0.2f..%0.2f]: %s\n", sum.Min, sum.Max, h.Sparkline())
+}

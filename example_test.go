@@ -1,0 +1,54 @@
+package subseq_test
+
+import (
+	"fmt"
+
+	subseq "repro"
+)
+
+// The longest similar subsequence (query Type II): the query and the
+// database sequence disagree globally but share a long local region.
+func ExampleMatcher_longest() {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("NNNNNNNNTHECATSATONTHEMATNNNNNNN"),
+	}
+	q := subseq.Sequence[byte]("ZZZZTHECATSATONTHEMATZZZZ")
+	matcher, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		panic(err)
+	}
+	m, _ := matcher.Longest(q, 0)
+	fmt.Printf("%s\n", q[m.QStart:m.QEnd])
+	// Output: THECATSATONTHEMAT
+}
+
+// The reference net as a standalone metric index: range and k-NN queries
+// over scalar data.
+func ExampleRefNet() {
+	net := subseq.NewRefNet(subseq.AbsDiff)
+	for _, v := range []float64{1, 2, 3, 10, 11, 30} {
+		net.Insert(v)
+	}
+	in := net.Range(2, 1) // everything within 1 of 2
+	fmt.Println(len(in))
+	nn := net.KNN(12, 2)
+	fmt.Printf("%.0f %.0f\n", nn[0].Item, nn[1].Item)
+	// Output:
+	// 3
+	// 11 10
+}
+
+// Verifying the paper's consistency property (Definition 1) on a pair of
+// sequences: every subsequence of X has a counterpart in Q at no greater
+// distance than δ(Q,X).
+func ExampleConsistentOn() {
+	dfd := subseq.DiscreteFrechetMeasure(subseq.AbsDiff).Fn
+	q := []float64{1, 2, 3, 4, 5}
+	x := []float64{1, 2, 2, 4, 5}
+	fmt.Println(subseq.ConsistentOn(dfd, q, x, 1e-9))
+	// Output: true
+}

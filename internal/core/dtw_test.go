@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// DTW is consistent but not a metric, so the framework supports it only
+// through the linear-scan filter (Section 5: the pruning of Lemma 2 needs
+// consistency alone; index pruning needs metricity). These tests cover
+// that whole pipeline end to end.
+
+func TestDTWLinearPipelineAgainstOracle(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	dtw := dist.DTWMeasure(dist.AbsDiff)
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 1500))
+		db := []seq.Sequence[float64]{walk(rng, 24), walk(rng, 24)}
+		q := append(seq.Sequence[float64]{}, db[0][2:20]...)
+		mt, err := NewMatcher(dtw, Config{Params: p, Index: IndexLinearScan}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := NewBruteForce(dtw, p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1.0
+		// The query replays db[0][2:20], so an exact region exists and
+		// both sides must find a zero-distance longest match of length
+		// ≥ λ.
+		om, ook := oracle.Longest(q, eps)
+		fm, fok := mt.Longest(q, eps)
+		if !ook || !fok {
+			t.Fatalf("trial %d: oracle found=%v framework found=%v", trial, ook, fok)
+		}
+		if fm.Dist > eps {
+			t.Errorf("trial %d: framework match beyond eps: %v", trial, fm)
+		}
+		// DTW warps freely, so equality with the oracle's length is not
+		// guaranteed; but the planted identical region must be matched at
+		// full query length by both.
+		if om.QLen() == len(q) && fm.QLen() < len(q)-2*p.Lambda0 {
+			t.Errorf("trial %d: framework longest %v much shorter than oracle %v", trial, fm, om)
+		}
+	}
+}
+
+func TestDTWFilterCostIsLinear(t *testing.T) {
+	// The linear filter evaluates every (segment, window) pair once:
+	// that is the paper's O(|Q||X|) bound realised without an index.
+	p := Params{Lambda: 6, Lambda0: 1}
+	dtw := dist.DTWMeasure(dist.AbsDiff)
+	rng := rand.New(rand.NewPCG(3, 1600))
+	db := []seq.Sequence[float64]{walk(rng, 60), walk(rng, 60)}
+	mt, err := NewMatcher(dtw, Config{Params: p, Index: IndexLinearScan}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := walk(rng, 30)
+	mt.FilterHits(q, 0.5)
+	segs := len(seq.SegmentsFor(q, p.Lambda, p.Lambda0))
+	want := int64(segs * mt.NumWindows())
+	if got := mt.FilterDistanceCalls(); got != want {
+		t.Errorf("filter calls = %d, want exactly segments×windows = %d", got, want)
+	}
+}

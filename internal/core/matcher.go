@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/covertree"
+	"repro/internal/dist"
+	"repro/internal/metric"
+	"repro/internal/refindex"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+)
+
+// Match is a reported pair of similar subsequences: the query subsequence
+// Q[QStart:QEnd) matches the database subsequence db[SeqID][XStart:XEnd)
+// at distance Dist.
+type Match struct {
+	SeqID        int
+	QStart, QEnd int
+	XStart, XEnd int
+	Dist         float64
+}
+
+// QLen returns the query subsequence length.
+func (m Match) QLen() int { return m.QEnd - m.QStart }
+
+// XLen returns the database subsequence length.
+func (m Match) XLen() int { return m.XEnd - m.XStart }
+
+// String renders the match for diagnostics.
+func (m Match) String() string {
+	return fmt.Sprintf("match{q[%d,%d) ~ x%d[%d,%d) δ=%.4f}", m.QStart, m.QEnd, m.SeqID, m.XStart, m.XEnd, m.Dist)
+}
+
+// Hit is a filtered segment↔window pair produced by steps 3–4 of the
+// framework: the query segment matched the database window within the
+// query radius.
+type Hit[E any] struct {
+	Window  seq.Window[E]
+	Segment seq.Segment[E]
+}
+
+// windowIndex is the operation the framework needs from its filter
+// backend.
+type windowIndex[E any] interface {
+	Range(q seq.Window[E], eps float64) []seq.Window[E]
+	Len() int
+}
+
+// batchRanger is the optional batched-query fast path (implemented by the
+// reference net).
+type batchRanger[E any] interface {
+	BatchRange(qs []seq.Window[E], eps float64) [][]seq.Window[E]
+}
+
+// Matcher is the subsequence-retrieval engine. Construct with NewMatcher,
+// which runs the two offline steps (dataset windowing, index construction);
+// the query methods FindAll, Longest and Nearest run the online steps.
+// A Matcher is safe for concurrent queries.
+type Matcher[E any] struct {
+	measure dist.Measure[E]
+	cfg     Config
+	db      []seq.Sequence[E]
+	windows []seq.Window[E]
+	index   windowIndex[E]
+
+	// counter wraps the window distance used by the index, for the
+	// paper's distance-computation accounting.
+	counter *metric.Counter[seq.Window[E]]
+	// buildCalls is the number of distance computations spent on index
+	// construction.
+	buildCalls int64
+	// verifier handles candidate generation + verification (step 5).
+	verifier *verifier[E]
+}
+
+// NewMatcher builds a matcher over db: it validates the configuration,
+// partitions every database sequence into windows of length λ/2 (step 1)
+// and builds the window index (step 2).
+func NewMatcher[E any](m dist.Measure[E], cfg Config, db []seq.Sequence[E]) (*Matcher[E], error) {
+	cfg.defaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateMeasure(m, cfg); err != nil {
+		return nil, err
+	}
+	mt := &Matcher[E]{
+		measure: m,
+		cfg:     cfg,
+		db:      db,
+		windows: seq.PartitionAll(db, cfg.Params.WindowLen()),
+	}
+	mt.counter = metric.NewCounter(func(a, b seq.Window[E]) float64 {
+		return m.Fn(a.Data, b.Data)
+	})
+	windowDist := mt.counter.Distance
+	switch cfg.Index {
+	case IndexRefNet:
+		net := refnet.New(windowDist, refnet.WithBase(cfg.Base), refnet.WithMaxParents(cfg.MaxParents))
+		for _, w := range mt.windows {
+			net.Insert(w)
+		}
+		mt.index = net
+	case IndexCoverTree:
+		ct := covertree.New(windowDist, cfg.Base)
+		for _, w := range mt.windows {
+			ct.Insert(w)
+		}
+		mt.index = ct
+	case IndexMV:
+		if len(mt.windows) == 0 {
+			return nil, fmt.Errorf("core: MV index requires a non-empty database")
+		}
+		mv, err := refindex.Build(mt.windows, cfg.MVRefs, windowDist, refindex.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		mt.index = mv
+	case IndexLinearScan:
+		ls := metric.NewLinearScan(windowDist)
+		for _, w := range mt.windows {
+			ls.Insert(w)
+		}
+		mt.index = ls
+	default:
+		return nil, fmt.Errorf("core: unknown index kind %v", cfg.Index)
+	}
+	mt.buildCalls = mt.counter.Calls()
+	mt.counter.Reset()
+	mt.verifier = newVerifier(m.Fn, cfg.Params, db)
+	return mt, nil
+}
+
+// Params returns the matcher's framework parameters.
+func (mt *Matcher[E]) Params() Params { return mt.cfg.Params }
+
+// NumWindows reports how many database windows are indexed.
+func (mt *Matcher[E]) NumWindows() int { return len(mt.windows) }
+
+// Windows exposes the indexed windows (shared slice; do not mutate).
+func (mt *Matcher[E]) Windows() []seq.Window[E] { return mt.windows }
+
+// BuildDistanceCalls reports the distance computations spent building the
+// index (offline cost).
+func (mt *Matcher[E]) BuildDistanceCalls() int64 { return mt.buildCalls }
+
+// FilterDistanceCalls reports the distance computations spent by the index
+// on queries since the last ResetFilterCalls — the quantity Figures 8–11 of
+// the paper compare against a full scan.
+func (mt *Matcher[E]) FilterDistanceCalls() int64 { return mt.counter.Calls() }
+
+// ResetFilterCalls zeroes the query-side distance counter.
+func (mt *Matcher[E]) ResetFilterCalls() { mt.counter.Reset() }
+
+// VerifyDistanceCalls reports distance computations spent in verification
+// (step 5) since the matcher was built.
+func (mt *Matcher[E]) VerifyDistanceCalls() int64 { return mt.verifier.calls.Load() }
+
+// FilterHits runs the online filtering steps (3–4): it extracts every
+// query segment of length λ/2−λ0 … λ/2+λ0 and range-queries the window
+// index with each, returning all segment↔window pairs within eps. By
+// Lemma 3, windows absent from the hit list cannot participate in any
+// similar pair, which is what caps the framework at O(|Q||X|) segment
+// comparisons.
+func (mt *Matcher[E]) FilterHits(q seq.Sequence[E], eps float64) []Hit[E] {
+	segs := seq.SegmentsFor(q, mt.cfg.Params.Lambda, mt.cfg.Params.Lambda0)
+	if len(segs) == 0 {
+		return nil
+	}
+	var hits []Hit[E]
+	if br, ok := mt.index.(batchRanger[E]); ok {
+		qs := make([]seq.Window[E], len(segs))
+		for i, s := range segs {
+			qs[i] = seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data}
+		}
+		for i, wins := range br.BatchRange(qs, eps) {
+			for _, w := range wins {
+				hits = append(hits, Hit[E]{Window: w, Segment: segs[i]})
+			}
+		}
+		return hits
+	}
+	for _, s := range segs {
+		probe := seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data}
+		for _, w := range mt.index.Range(probe, eps) {
+			hits = append(hits, Hit[E]{Window: w, Segment: s})
+		}
+	}
+	return hits
+}
+
+// FindAll answers query Type I: it returns every pair of similar
+// subsequences reachable from the per-hit candidate regions of Section 7 —
+// pairs (SQ, SX) with |SQ| ≥ λ, |SX| ≥ λ, ||SQ|−|SX|| ≤ λ0 and
+// δ(SQ,SX) ≤ eps. As in the paper, each hit's candidate region bounds the
+// enumerated supersequences (SX start within λ/2 before its window, end
+// within λ/2+λ/2 after, and correspondingly for SQ), so arbitrarily long
+// matches are the domain of Longest (Type II); completeness is exact for
+// pair lengths up to λ.
+func (mt *Matcher[E]) FindAll(q seq.Sequence[E], eps float64) []Match {
+	hits := mt.FilterHits(q, eps)
+	return mt.verifier.verifyAll(q, hits, eps)
+}
+
+// Longest answers query Type II: among all similar pairs at radius eps it
+// returns one maximising the query subsequence length |SQ|. It concatenates
+// hits on consecutive windows into chains, then verifies candidates from
+// the longest chain downwards, as in Section 7. The boolean reports whether
+// any similar pair exists.
+func (mt *Matcher[E]) Longest(q seq.Sequence[E], eps float64) (Match, bool) {
+	hits := mt.FilterHits(q, eps)
+	return mt.verifier.verifyLongest(q, hits, eps)
+}
+
+// NearestOptions tunes Nearest (query Type III).
+type NearestOptions struct {
+	// EpsMax is the largest radius considered; if no pair exists within
+	// it, Nearest reports not found.
+	EpsMax float64
+	// EpsInc is the paper's ǫ_inc: the radius increment between
+	// verification rounds, and the binary-search resolution. Choose a
+	// small fraction of typical pairwise distances.
+	EpsInc float64
+}
+
+// Nearest answers query Type III: it returns a pair minimising δ(SQ,SX)
+// subject to the length constraints. Following Section 7 it binary-searches
+// the minimal radius at which the filter produces any segment hit, then
+// verifies, enlarging the radius by EpsInc until a pair is confirmed.
+func (mt *Matcher[E]) Nearest(q seq.Sequence[E], opts NearestOptions) (Match, bool) {
+	if opts.EpsMax <= 0 || opts.EpsInc <= 0 {
+		return Match{}, false
+	}
+	hasHits := func(eps float64) bool { return len(mt.FilterHits(q, eps)) > 0 }
+	if !hasHits(opts.EpsMax) {
+		return Match{}, false
+	}
+	lo, hi := 0.0, opts.EpsMax
+	if hasHits(0) {
+		hi = 0
+	}
+	for hi-lo > opts.EpsInc {
+		mid := lo + (hi-lo)/2
+		if hasHits(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for eps := hi; eps <= opts.EpsMax+opts.EpsInc/2; eps += opts.EpsInc {
+		hits := mt.FilterHits(q, eps)
+		if best, ok := mt.verifier.verifyNearest(q, hits, eps); ok {
+			return best, true
+		}
+	}
+	return Match{}, false
+}

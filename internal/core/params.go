@@ -1,0 +1,120 @@
+// Package core implements the paper's subsequence-retrieval framework
+// (Sections 5 and 7): dataset segmentation into fixed windows, query
+// segmentation, index-backed range filtering of segment↔window pairs,
+// candidate generation, and verification for the three query types —
+// range (Type I), longest similar subsequence (Type II) and nearest
+// neighbour (Type III). A brute-force oracle with identical semantics
+// backs the correctness tests.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Params carries the two user-level parameters of the framework.
+type Params struct {
+	// Lambda (λ) is the minimum meaningful match length: both subsequences
+	// of a reported pair must have at least λ elements. Database sequences
+	// are partitioned into windows of length l = λ/2 (Lemma 2 requires
+	// l ≤ λ/2 for the filter to be lossless).
+	Lambda int
+	// Lambda0 (λ0) bounds the temporal shift between matched subsequences:
+	// their lengths may differ by at most λ0, and query segments of
+	// lengths λ/2−λ0 … λ/2+λ0 are matched against database windows.
+	Lambda0 int
+}
+
+// WindowLen returns the database window length l = λ/2.
+func (p Params) WindowLen() int { return p.Lambda / 2 }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Lambda < 2 {
+		return fmt.Errorf("core: lambda must be at least 2, got %d", p.Lambda)
+	}
+	if p.Lambda0 < 0 {
+		return fmt.Errorf("core: lambda0 must be non-negative, got %d", p.Lambda0)
+	}
+	if p.Lambda0 >= p.WindowLen() {
+		return fmt.Errorf("core: lambda0 (%d) must be smaller than the window length λ/2 (%d)",
+			p.Lambda0, p.WindowLen())
+	}
+	return nil
+}
+
+// IndexKind selects the metric-index backend for the window filter.
+type IndexKind int
+
+const (
+	// IndexRefNet uses the paper's reference net (the default).
+	IndexRefNet IndexKind = iota
+	// IndexCoverTree uses the cover-tree baseline.
+	IndexCoverTree
+	// IndexMV uses reference-based indexing with Maximum-Variance
+	// reference selection.
+	IndexMV
+	// IndexLinearScan compares every segment against every window. It is
+	// the only backend valid for consistent-but-non-metric distances
+	// (DTW); it still enjoys the framework's O(|Q||X|) filtering bound.
+	IndexLinearScan
+)
+
+// String names the backend.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexRefNet:
+		return "refnet"
+	case IndexCoverTree:
+		return "covertree"
+	case IndexMV:
+		return "mv"
+	case IndexLinearScan:
+		return "linear"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// Config configures a Matcher.
+type Config struct {
+	Params Params
+	// Index selects the window-filter backend (default IndexRefNet).
+	Index IndexKind
+	// Base is ǫ′ for the reference net / cover tree (default 1).
+	Base float64
+	// MaxParents is the reference net's nummax cap (0 = unlimited).
+	MaxParents int
+	// MVRefs is the reference count k for IndexMV (default 5, the
+	// paper's MV-5).
+	MVRefs int
+	// Seed seeds MV reference selection.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Base == 0 {
+		c.Base = 1
+	}
+	if c.MVRefs == 0 {
+		c.MVRefs = 5
+	}
+}
+
+// validateMeasure checks measure/config compatibility: the framework's
+// filtering is lossless only for consistent distances (Lemma 2), metric
+// indexes are sound only for metric distances (Section 3.3), and lock-step
+// distances admit no temporal shift.
+func validateMeasure[E any](m dist.Measure[E], cfg Config) error {
+	if !m.Props.Consistent {
+		return fmt.Errorf("core: distance %q is not consistent; the framework's filter would miss matches (Definition 1)", m.Name)
+	}
+	if !m.Props.Metric && cfg.Index != IndexLinearScan {
+		return fmt.Errorf("core: distance %q is not a metric; index %q would prune incorrectly — use IndexLinearScan", m.Name, cfg.Index)
+	}
+	if m.Props.LockStep && cfg.Params.Lambda0 != 0 {
+		return fmt.Errorf("core: lock-step distance %q requires lambda0 = 0, got %d", m.Name, cfg.Params.Lambda0)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// forEachPair is load-bearing for all three query types; this property
+// test pins it against an independent brute-force enumeration of the same
+// region specification.
+func TestForEachPairMatchesBruteEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	for trial := 0; trial < 200; trial++ {
+		p := Params{Lambda: 2 + rng.IntN(6), Lambda0: 0}
+		if l := p.WindowLen(); l > 1 {
+			p.Lambda0 = rng.IntN(l)
+		}
+		v := &verifier[byte]{p: p}
+		r := region{
+			seqID: 0,
+			qsMin: rng.IntN(5), qeMin: 5 + rng.IntN(5),
+			xsMin: rng.IntN(5), xeMin: 5 + rng.IntN(5),
+		}
+		r.qsMax = r.qsMin + rng.IntN(4)
+		r.qeMax = r.qeMin + rng.IntN(4)
+		r.xsMax = r.xsMin + rng.IntN(4)
+		r.xeMax = r.xeMin + rng.IntN(4)
+
+		type pk struct{ qs, qe, xs, xe int }
+		got := map[pk]bool{}
+		v.forEachPair(r, func(qs, qe, xs, xe int) bool {
+			if got[pk{qs, qe, xs, xe}] {
+				t.Fatalf("trial %d: pair emitted twice", trial)
+			}
+			got[pk{qs, qe, xs, xe}] = true
+			return true
+		})
+
+		want := map[pk]bool{}
+		for qs := r.qsMin; qs <= r.qsMax; qs++ {
+			for qe := r.qeMin; qe <= r.qeMax; qe++ {
+				for xs := r.xsMin; xs <= r.xsMax; xs++ {
+					for xe := r.xeMin; xe <= r.xeMax; xe++ {
+						ql, xl := qe-qs, xe-xs
+						if ql < p.Lambda || xl < p.Lambda {
+							continue
+						}
+						if d := ql - xl; d > p.Lambda0 || -d > p.Lambda0 {
+							continue
+						}
+						want[pk{qs, qe, xs, xe}] = true
+					}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (λ=%d λ0=%d region %+v): %d pairs, want %d",
+				trial, p.Lambda, p.Lambda0, r, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: pair %+v missing", trial, k)
+			}
+		}
+	}
+}
+
+// forEachPair must honour an early stop.
+func TestForEachPairEarlyStop(t *testing.T) {
+	v := &verifier[byte]{p: Params{Lambda: 2, Lambda0: 0}}
+	r := region{qsMin: 0, qsMax: 5, qeMin: 2, qeMax: 8, xsMin: 0, xsMax: 5, xeMin: 2, xeMax: 8}
+	calls := 0
+	v.forEachPair(r, func(qs, qe, xs, xe int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("enumeration continued after stop: %d calls", calls)
+	}
+}
+
+// Matcher queries are documented as safe for concurrent use; exercise
+// that with parallel queries over a shared matcher (run with -race in CI
+// to make this decisive).
+func TestMatcherConcurrentQueries(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(7, 2100))
+	db, _ := randStrings(rng, 3, 40, 20, 8, true)
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]seq.Sequence[byte], 8)
+	for i := range queries {
+		_, queries[i] = randStrings(rng, 1, 30, 20, 7, true)
+	}
+	ref := make([][]Match, len(queries))
+	for i, q := range queries {
+		ref[i] = mt.FindAll(q, 1.5)
+	}
+	done := make(chan error, len(queries))
+	for i, q := range queries {
+		go func(i int, q seq.Sequence[byte]) {
+			got := mt.FindAll(q, 1.5)
+			if len(got) != len(ref[i]) {
+				done <- errMismatch
+				return
+			}
+			for j := range got {
+				if got[j] != ref[i][j] {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}(i, q)
+	}
+	for range queries {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query result differs from sequential" }

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// verifier implements step 5 of the framework: candidate generation from
+// filtered hits and verification with true distance computations.
+//
+// For a hit pairing query segment [a,b) with database window [c,c+l), the
+// candidate supersequences follow Section 7 exactly:
+//
+//	SX start ∈ [c−λ/2, c],       SX end ∈ [c+λ/2, c+λ]
+//	SQ start ∈ [a−λ/2−λ0, a],    SQ end ∈ [b, b+λ/2+λ0]
+//
+// clamped to the sequence bounds, and subject to |SQ|,|SX| ≥ λ and
+// ||SQ|−|SX|| ≤ λ0.
+//
+// For matches longer than λ the paper concatenates hits on consecutive
+// windows (Section 7, query Type II). A true match covering windows
+// oA..oB produces a hit on every one of those windows (Lemma 2 applied to
+// each window), so we generalise concatenation to RUN REGIONS: every pair
+// of hits (hA, hB) whose windows bound a run of consecutively-hit windows
+// spans a candidate region whose SX extends one window past the run ends
+// (the paper's (k+2)·λ/2 bound) and whose SQ extends past the two hit
+// segments. Keeping only the single longest chain per ending hit — a
+// literal reading of the paper — is insufficient: a long chain pins SX to
+// cover all its windows, hiding matches that cover an inner sub-run.
+//
+// Candidate pairs are deduplicated across regions so each distinct pair is
+// verified at most once per query.
+type verifier[E any] struct {
+	fn    dist.Func[E]
+	p     Params
+	db    []seq.Sequence[E]
+	calls atomic.Int64
+}
+
+func newVerifier[E any](fn dist.Func[E], p Params, db []seq.Sequence[E]) *verifier[E] {
+	return &verifier[E]{fn: fn, p: p, db: db}
+}
+
+func (v *verifier[E]) dist(a, b []E) float64 {
+	v.calls.Add(1)
+	return v.fn(a, b)
+}
+
+// pairKey identifies a candidate pair for deduplication.
+type pairKey struct {
+	seqID, qs, qe, xs, xe int
+}
+
+// region is the candidate search box derived from a hit or a hit pair.
+type region struct {
+	seqID        int
+	qsMin, qsMax int
+	qeMin, qeMax int
+	xsMin, xsMax int
+	xeMin, xeMax int
+}
+
+// qlenUpper is the largest query subsequence length the region can yield.
+func (r region) qlenUpper() int { return r.qeMax - r.qsMin }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// spanRegion builds the candidate region for the window/segment span
+// bounded by a start hit (window [cA,·), segment [aA,·)) and an end hit
+// (window [·,cEndB), segment [·,bB)); for a single hit the two coincide
+// and the region reduces to the paper's Section 7 box.
+func (v *verifier[E]) spanRegion(q seq.Sequence[E], seqID, cA, cEndB, aA, bB int) region {
+	l := v.p.WindowLen()
+	lam0 := v.p.Lambda0
+	x := v.db[seqID]
+	return region{
+		seqID: seqID,
+		qsMin: clamp(aA-l-lam0, 0, len(q)), qsMax: clamp(aA, 0, len(q)),
+		qeMin: clamp(bB, 0, len(q)), qeMax: clamp(bB+l+lam0, 0, len(q)),
+		xsMin: clamp(cA-l, 0, len(x)), xsMax: clamp(cA, 0, len(x)),
+		xeMin: clamp(cEndB, 0, len(x)), xeMax: clamp(cEndB+l, 0, len(x)),
+	}
+}
+
+// hitRegion is the single-hit candidate region (query Type I).
+func (v *verifier[E]) hitRegion(q seq.Sequence[E], h Hit[E]) region {
+	return v.spanRegion(q, h.Window.SeqID, h.Window.Start, h.Window.End(),
+		h.Segment.Start, h.Segment.End())
+}
+
+// runRegions builds the candidate regions for all hit pairs spanning runs
+// of consecutively-hit windows, including the degenerate single-hit
+// regions. The query-span compatibility filter discards pairs whose
+// segments are further apart than the spanned windows allow under the
+// per-window shift budget λ0.
+func (v *verifier[E]) runRegions(q seq.Sequence[E], hits []Hit[E]) []region {
+	lam0 := v.p.Lambda0
+	type key struct{ seqID, ord int }
+	byWin := make(map[key][]int)
+	for i, h := range hits {
+		k := key{h.Window.SeqID, h.Window.Ord}
+		byWin[k] = append(byWin[k], i)
+	}
+	seen := make(map[region]bool)
+	var out []region
+	add := func(r region) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, h := range hits {
+		add(v.hitRegion(q, h))
+		// Extend forward while every window in between has hits.
+		seqID := h.Window.SeqID
+		for ord := h.Window.Ord + 1; ; ord++ {
+			ends, ok := byWin[key{seqID, ord}]
+			if !ok {
+				break
+			}
+			m := ord - h.Window.Ord + 1
+			budget := m * lam0
+			for _, j := range ends {
+				hb := hits[j]
+				spanX := hb.Window.End() - h.Window.Start // == m·l
+				spanQ := hb.Segment.End() - h.Segment.Start
+				if spanQ <= 0 {
+					continue
+				}
+				if d := spanQ - spanX; d > budget+lam0 || -d > budget+lam0 {
+					continue
+				}
+				add(v.spanRegion(q, seqID, h.Window.Start, hb.Window.End(),
+					h.Segment.Start, hb.Segment.End()))
+			}
+		}
+	}
+	return out
+}
+
+// forEachPair enumerates the candidate pairs of a region that satisfy the
+// length constraints, invoking fn for each; fn returning false stops the
+// enumeration early.
+func (v *verifier[E]) forEachPair(r region, fn func(qs, qe, xs, xe int) bool) {
+	lam, lam0 := v.p.Lambda, v.p.Lambda0
+	for xs := r.xsMin; xs <= r.xsMax; xs++ {
+		for xe := r.xeMin; xe <= r.xeMax; xe++ {
+			xlen := xe - xs
+			if xlen < lam {
+				continue
+			}
+			for qs := r.qsMin; qs <= r.qsMax; qs++ {
+				// |qlen − xlen| ≤ λ0 restricts qe to a narrow band.
+				qeLo := qs + xlen - lam0
+				if qeLo < r.qeMin {
+					qeLo = r.qeMin
+				}
+				if qeLo < qs+lam {
+					qeLo = qs + lam
+				}
+				qeHi := qs + xlen + lam0
+				if qeHi > r.qeMax {
+					qeHi = r.qeMax
+				}
+				for qe := qeLo; qe <= qeHi; qe++ {
+					if !fn(qs, qe, xs, xe) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// verifyAll implements query Type I verification over the per-hit regions.
+func (v *verifier[E]) verifyAll(q seq.Sequence[E], hits []Hit[E], eps float64) []Match {
+	seen := make(map[pairKey]bool)
+	var out []Match
+	for _, h := range hits {
+		r := v.hitRegion(q, h)
+		x := v.db[r.seqID]
+		v.forEachPair(r, func(qs, qe, xs, xe int) bool {
+			k := pairKey{r.seqID, qs, qe, xs, xe}
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			if d := v.dist(q[qs:qe], x[xs:xe]); d <= eps {
+				out = append(out, Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.SeqID != b.SeqID {
+			return a.SeqID < b.SeqID
+		}
+		if a.XStart != b.XStart {
+			return a.XStart < b.XStart
+		}
+		if a.XEnd != b.XEnd {
+			return a.XEnd < b.XEnd
+		}
+		if a.QStart != b.QStart {
+			return a.QStart < b.QStart
+		}
+		return a.QEnd < b.QEnd
+	})
+	return out
+}
+
+// verifyNearest implements query Type III verification: the minimum
+// distance pair within the run regions, if any pair is within eps.
+func (v *verifier[E]) verifyNearest(q seq.Sequence[E], hits []Hit[E], eps float64) (Match, bool) {
+	seen := make(map[pairKey]bool)
+	var best Match
+	found := false
+	for _, r := range v.runRegions(q, hits) {
+		x := v.db[r.seqID]
+		v.forEachPair(r, func(qs, qe, xs, xe int) bool {
+			k := pairKey{r.seqID, qs, qe, xs, xe}
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			d := v.dist(q[qs:qe], x[xs:xe])
+			if d <= eps && (!found || d < best.Dist) {
+				best = Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
+				found = true
+			}
+			return true
+		})
+	}
+	return best, found
+}
+
+// verifyLongest implements query Type II verification: process run regions
+// from the largest query-length bound down, verify candidates in
+// decreasing |SQ| order, and stop once no remaining region can beat the
+// best match found.
+func (v *verifier[E]) verifyLongest(q seq.Sequence[E], hits []Hit[E], eps float64) (Match, bool) {
+	if len(hits) == 0 {
+		return Match{}, false
+	}
+	regions := v.runRegions(q, hits)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].qlenUpper() > regions[j].qlenUpper() })
+
+	seen := make(map[pairKey]bool)
+	var best Match
+	found := false
+	for _, r := range regions {
+		ub := r.qlenUpper()
+		if found && ub <= best.QLen() {
+			break // regions are sorted by upper bound
+		}
+		x := v.db[r.seqID]
+		// Enumerate candidate |SQ| from largest to smallest; the first
+		// verified pair is this region's longest.
+		for qlen := ub; qlen >= v.p.Lambda; qlen-- {
+			if found && qlen <= best.QLen() {
+				break
+			}
+			matched := false
+			for qs := r.qsMin; qs <= r.qsMax && !matched; qs++ {
+				qe := qs + qlen
+				if qe < r.qeMin || qe > r.qeMax {
+					continue
+				}
+				for xs := r.xsMin; xs <= r.xsMax && !matched; xs++ {
+					xeLo := clamp(qlen-v.p.Lambda0+xs, r.xeMin, r.xeMax+1)
+					xeHi := clamp(qlen+v.p.Lambda0+xs, r.xeMin-1, r.xeMax)
+					for xe := xeLo; xe <= xeHi; xe++ {
+						if xe-xs < v.p.Lambda {
+							continue
+						}
+						k := pairKey{r.seqID, qs, qe, xs, xe}
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						if d := v.dist(q[qs:qe], x[xs:xe]); d <= eps {
+							best = Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
+							found, matched = true, true
+							break
+						}
+					}
+				}
+			}
+			if matched {
+				break
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,49 @@
+package covertree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestCoverTreeKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 82))
+	tr := New(absDist, 1)
+	var items []float64
+	for i := 0; i < 400; i++ {
+		v := rng.Float64() * 300
+		items = append(items, v)
+		tr.Insert(v)
+	}
+	for _, k := range []int{1, 5, 25} {
+		for trial := 0; trial < 10; trial++ {
+			q := rng.Float64() * 300
+			got := tr.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("k=%d: %d results", k, len(got))
+			}
+			ds := make([]float64, len(items))
+			for i, v := range items {
+				ds[i] = absDist(q, v)
+			}
+			sort.Float64s(ds)
+			for i := range got {
+				if got[i].Dist != ds[i] {
+					t.Fatalf("k=%d rank %d: %v, want %v", k, i, got[i].Dist, ds[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCoverTreeKNNEdgeCases(t *testing.T) {
+	tr := New(absDist, 1)
+	if got := tr.KNN(1, 5); got != nil {
+		t.Errorf("empty tree: %v", got)
+	}
+	tr.Insert(2)
+	got := tr.KNN(0, 99)
+	if len(got) != 1 || got[0].Item != 2 {
+		t.Errorf("k>n: %v", got)
+	}
+}

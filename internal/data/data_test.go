@@ -1,0 +1,199 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+	"repro/internal/stats"
+)
+
+func TestProteinsShape(t *testing.T) {
+	ds := Proteins(500, 20, 1)
+	if len(ds.Windows) < 500 {
+		t.Fatalf("got %d windows, want ≥ 500", len(ds.Windows))
+	}
+	if ds.WindowLen != 20 {
+		t.Errorf("WindowLen = %d", ds.WindowLen)
+	}
+	for _, s := range ds.Sequences {
+		for _, c := range s {
+			if !strings.ContainsRune(aminoAcids, rune(c)) {
+				t.Fatalf("non-amino-acid byte %q in sequence", c)
+			}
+		}
+	}
+	for _, w := range ds.Windows {
+		if len(w.Data) != 20 {
+			t.Fatalf("window length %d", len(w.Data))
+		}
+	}
+}
+
+func TestProteinsDeterministic(t *testing.T) {
+	a := Proteins(100, 20, 7)
+	b := Proteins(100, 20, 7)
+	for i := range a.Sequences {
+		if string(a.Sequences[i]) != string(b.Sequences[i]) {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := Proteins(100, 20, 8)
+	same := true
+	for i := range a.Sequences {
+		if string(a.Sequences[i]) != string(c.Sequences[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestProteinsHaveMotifStructure(t *testing.T) {
+	// Motif planting must create some low-distance window pairs: the
+	// minimum sampled pairwise Levenshtein distance should be well below
+	// the random-window mode (≈ 0.6–0.8 of the window length).
+	ds := Proteins(2000, 20, 3)
+	lev := dist.Levenshtein[byte]()
+	ws := ds.Windows
+	min, max := 20.0, 0.0
+	for i := 0; i < 4000; i++ {
+		a, b := ws[(i*7919)%len(ws)], ws[(i*104729+13)%len(ws)]
+		if a.SeqID == b.SeqID && a.Ord == b.Ord {
+			continue
+		}
+		d := lev(a.Data, b.Data)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min > 8 {
+		t.Errorf("no similar window pairs found (min distance %v); motif planting ineffective", min)
+	}
+	if max < 12 {
+		t.Errorf("max distance %v suspiciously low; corpus lacks diversity", max)
+	}
+}
+
+func TestSongsShape(t *testing.T) {
+	ds := Songs(300, 20, 2)
+	if len(ds.Windows) < 300 {
+		t.Fatalf("got %d windows", len(ds.Windows))
+	}
+	for _, s := range ds.Sequences {
+		for _, v := range s {
+			if v < 0 || v > 11 || v != float64(int(v)) {
+				t.Fatalf("pitch %v outside 0..11", v)
+			}
+		}
+	}
+}
+
+func TestSongsDFDSkewedERPSpread(t *testing.T) {
+	// The paper's key observation (Figure 4): bounded pitches make the
+	// DFD distribution narrow while ERP spreads out. Compare coefficients
+	// of variation over the same window sample.
+	ds := Songs(2000, 20, 4)
+	dfd := dist.DiscreteFrechet(dist.AbsDiff)
+	erp := dist.ERP(dist.AbsDiff, 0)
+	var dfdSample, erpSample []float64
+	ws := ds.Windows
+	for i := 0; i < 3000; i++ {
+		a, b := ws[(i*7919)%len(ws)], ws[(i*104729+13)%len(ws)]
+		dfdSample = append(dfdSample, dfd(a.Data, b.Data))
+		erpSample = append(erpSample, erp(a.Data, b.Data))
+	}
+	ds1 := stats.Summarize(dfdSample)
+	ds2 := stats.Summarize(erpSample)
+	// DFD values live in a narrow band (bounded by the pitch range 11);
+	// ERP values range over a much wider span.
+	if ds1.Max-ds1.Min >= ds2.Max-ds2.Min {
+		t.Errorf("DFD spread %.2f not narrower than ERP spread %.2f",
+			ds1.Max-ds1.Min, ds2.Max-ds2.Min)
+	}
+	if ds1.Max > 11 {
+		t.Errorf("DFD on pitch classes cannot exceed 11, got %v", ds1.Max)
+	}
+}
+
+func TestSongsDFDProducesMoreParentsThanERP(t *testing.T) {
+	// The downstream property behind Figure 6: the concentrated DFD
+	// distribution makes reference-net nodes acquire more parents than
+	// the spread-out ERP distribution does on the same windows.
+	ds := Songs(1500, 20, 4)
+	avgParents := func(d func(a, b []float64) float64) float64 {
+		net := refnet.New(func(a, b seq.Window[float64]) float64 { return d(a.Data, b.Data) })
+		for _, w := range ds.Windows {
+			net.Insert(w)
+		}
+		return net.Stats().AvgParents
+	}
+	dfdParents := avgParents(dist.DiscreteFrechet(dist.AbsDiff))
+	erpParents := avgParents(dist.ERP(dist.AbsDiff, 0))
+	if dfdParents <= erpParents {
+		t.Errorf("DFD avg parents %.2f not above ERP %.2f; SONGS corpus lacks the paper's skew contrast",
+			dfdParents, erpParents)
+	}
+	t.Logf("avg parents: DFD %.2f vs ERP %.2f", dfdParents, erpParents)
+}
+
+func TestTrajectoriesShape(t *testing.T) {
+	ds := Trajectories(300, 20, 5)
+	if len(ds.Windows) < 300 {
+		t.Fatalf("got %d windows", len(ds.Windows))
+	}
+	for _, s := range ds.Sequences {
+		for _, p := range s {
+			if p.X < -10 || p.X > 110 || p.Y < -10 || p.Y > 110 {
+				t.Fatalf("point %v outside the lot", p)
+			}
+		}
+	}
+	// Trajectories must actually move.
+	s := ds.Sequences[0]
+	d := dist.Point2Dist(s[0], s[len(s)-1])
+	if d < 5 {
+		t.Errorf("trajectory barely moves: start-end distance %v", d)
+	}
+}
+
+func TestTrajDistanceSpreadWide(t *testing.T) {
+	// TRAJ distances must have high variance for both DFD and ERP
+	// (Figure 7's premise: wide-spread distances → few parents).
+	ds := Trajectories(1000, 20, 6)
+	dfd := dist.DiscreteFrechet(dist.Point2Dist)
+	ws := ds.Windows
+	var sample []float64
+	for i := 0; i < 2000; i++ {
+		a, b := ws[(i*7919)%len(ws)], ws[(i*104729+13)%len(ws)]
+		sample = append(sample, dfd(a.Data, b.Data))
+	}
+	s := stats.Summarize(sample)
+	if s.Std/s.Mean < 0.3 {
+		t.Errorf("TRAJ DFD distances too concentrated: %v", s)
+	}
+}
+
+func TestRandomQuery(t *testing.T) {
+	ds := Proteins(200, 20, 9)
+	q := RandomQuery(ds, 60, 0.1, MutateAA, 11)
+	if len(q) != 60 {
+		t.Fatalf("query length %d", len(q))
+	}
+	q2 := RandomQuery(ds, 60, 0.1, MutateAA, 11)
+	if string(q) != string(q2) {
+		t.Error("same seed produced different queries")
+	}
+	for _, c := range q {
+		if !strings.ContainsRune(aminoAcids, rune(c)) {
+			t.Fatalf("query contains non-amino-acid %q", c)
+		}
+	}
+}

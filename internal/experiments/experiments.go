@@ -1,0 +1,150 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 8, Figures 4–12) on the synthetic datasets of internal/data.
+// Each runner returns printable tables with the same series the paper
+// plots; cmd/experiments prints them and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/metric"
+	"repro/internal/seq"
+	"repro/internal/stats"
+)
+
+// Size scales experiment workloads.
+type Size int
+
+const (
+	// Small runs in seconds per figure: used by tests and benchmarks.
+	Small Size = iota
+	// Paper approximates the paper's dataset sizes (e.g. 100K windows);
+	// minutes per figure.
+	Paper
+)
+
+// ParseSize parses "small" or "paper".
+func ParseSize(s string) (Size, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown size %q (want small or paper)", s)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values (no quoting; cells are
+// numeric or simple identifiers).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Runner produces the tables for one figure.
+type Runner func(size Size) []Table
+
+// Registry maps figure IDs to runners.
+var Registry = map[string]Runner{
+	"fig04": Fig04,
+	"fig05": Fig05,
+	"fig06": Fig06,
+	"fig07": Fig07,
+	"fig08": Fig08,
+	"fig09": Fig09,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+}
+
+// IDs returns the registered figure IDs in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// windowCounter wraps a sequence distance as a counted window distance.
+func windowCounter[E any](fn dist.Func[E]) *metric.Counter[seq.Window[E]] {
+	return metric.NewCounter(func(a, b seq.Window[E]) float64 { return fn(a.Data, b.Data) })
+}
+
+// windowBytes estimates a window's payload size for space accounting.
+func windowBytes[E any](perElem int) func(seq.Window[E]) int {
+	return func(w seq.Window[E]) int { return len(w.Data)*perElem + 24 }
+}
+
+// probe wraps query element data as a window probe for the index.
+func probe[E any](data []E) seq.Window[E] {
+	return seq.Window[E]{SeqID: -1, Data: data}
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// sampleSummaryRow renders dataset/distance summary cells for Fig 4.
+func sampleSummaryRow(name, distName string, sample []float64, h *stats.Histogram) []string {
+	s := stats.Summarize(sample)
+	return []string{
+		name, distName, fmt.Sprintf("%d", s.N),
+		f(s.Mean), f(s.Std), f(s.Min), f(s.Median), f(s.Max),
+		h.Sparkline(),
+	}
+}

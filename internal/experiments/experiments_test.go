@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	if s, err := ParseSize("small"); err != nil || s != Small {
+		t.Errorf("ParseSize(small) = %v, %v", s, err)
+	}
+	if s, err := ParseSize("PAPER"); err != nil || s != Paper {
+		t.Errorf("ParseSize(PAPER) = %v, %v", s, err)
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize(huge) accepted")
+	}
+}
+
+func TestIDsCoverAllFigures(t *testing.T) {
+	want := []string{"fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "T",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a    bb", "333  4", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if got := buf.String(); got != "a,bb\n1,2\n333,4\n" {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+// parsePct parses "12.34%" cells.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig04Shapes(t *testing.T) {
+	tables := Fig04(Small)
+	if len(tables) != 6 { // summary + 5 detail histograms
+		t.Fatalf("Fig04 returned %d tables", len(tables))
+	}
+	sum := tables[0]
+	if len(sum.Rows) != 5 {
+		t.Fatalf("summary has %d rows", len(sum.Rows))
+	}
+	// songs/dfd max must stay within the pitch bound 11; traj/erp spread
+	// must dwarf songs/dfd spread.
+	byName := map[string][]string{}
+	for _, r := range sum.Rows {
+		byName[r[0]+"/"+r[1]] = r
+	}
+	dfdMax, _ := strconv.ParseFloat(byName["songs/dfd"][7], 64)
+	if dfdMax > 11 {
+		t.Errorf("songs/dfd max %v exceeds pitch bound", dfdMax)
+	}
+	dfdStd, _ := strconv.ParseFloat(byName["songs/dfd"][4], 64)
+	erpStd, _ := strconv.ParseFloat(byName["songs/erp"][4], 64)
+	if dfdStd >= erpStd {
+		t.Errorf("songs/dfd std %v not below songs/erp std %v", dfdStd, erpStd)
+	}
+}
+
+func TestFig05Shapes(t *testing.T) {
+	tab := Fig05(Small)[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Links grow monotonically with windows and avg_parents stays sane.
+	prevLinks := -1
+	for _, r := range tab.Rows {
+		links, _ := strconv.Atoi(r[3])
+		if links <= prevLinks {
+			t.Errorf("links not increasing: %v", r)
+		}
+		prevLinks = links
+		ap, _ := strconv.ParseFloat(r[4], 64)
+		if ap < 1 || ap > 8 {
+			t.Errorf("avg_parents %v out of plausible range", ap)
+		}
+	}
+}
+
+func TestFig06Shapes(t *testing.T) {
+	tab := Fig06(Small)[0]
+	// Group rows by variant; compare final avg_parents: DFD > ERP and
+	// DFD-5 ≤ DFD.
+	last := map[string]float64{}
+	for _, r := range tab.Rows {
+		ap, _ := strconv.ParseFloat(r[4], 64)
+		last[r[0]] = ap
+	}
+	if last["DFD"] <= last["ERP"] {
+		t.Errorf("DFD avg_parents %v not above ERP %v", last["DFD"], last["ERP"])
+	}
+	if last["DFD-5"] > last["DFD"]+1e-9 {
+		t.Errorf("DFD-5 avg_parents %v above uncapped DFD %v", last["DFD-5"], last["DFD"])
+	}
+	if last["DFD-5"] > 5 {
+		t.Errorf("DFD-5 avg_parents %v exceeds the cap", last["DFD-5"])
+	}
+}
+
+func TestFig07Shapes(t *testing.T) {
+	tab := Fig07(Small)[0]
+	for _, r := range tab.Rows {
+		ratio, _ := strconv.ParseFloat(r[8], 64)
+		if ratio > 2 {
+			t.Errorf("rn/ct ratio %v above the paper's ~2x bound for TRAJ: %v", ratio, r)
+		}
+	}
+}
+
+func TestFig09Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query-performance figure is seconds-scale")
+	}
+	tab := Fig09(Small)[0]
+	// RN-5 within a few points of RN everywhere; RN ≤ CT at the smallest
+	// radius (the paper's headline).
+	for _, r := range tab.Rows {
+		rn := parsePct(t, r[2])
+		rn5 := parsePct(t, r[3])
+		if diff := rn5 - rn; diff > 5 || -diff > 5 {
+			t.Errorf("RN-5 (%v%%) deviates from RN (%v%%) at eps=%s", rn5, rn, r[0])
+		}
+	}
+	first := tab.Rows[0]
+	if rn, ct := parsePct(t, first[2]), parsePct(t, first[4]); rn > ct+0.5 {
+		t.Errorf("RN (%v%%) above CT (%v%%) at the smallest radius", rn, ct)
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matcher figure is seconds-scale")
+	}
+	tab := Fig12(Small)[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	prevUnique := -1.0
+	for _, r := range tab.Rows {
+		unique := parsePct(t, r[1])
+		consec := parsePct(t, r[2])
+		if consec > unique+1e-9 {
+			t.Errorf("consecutive%% %v above unique%% %v", consec, unique)
+		}
+		if unique < prevUnique {
+			t.Errorf("unique%% not monotone in eps")
+		}
+		prevUnique = unique
+	}
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	if unique := parsePct(t, lastRow[1]); unique < 99.9 {
+		t.Errorf("unique%% at eps=dmax is %v, want ~100", unique)
+	}
+}

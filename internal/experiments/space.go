@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/covertree"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+)
+
+// spaceVariant is one index configuration measured in the space figures.
+type spaceVariant[E any] struct {
+	name string
+	fn   dist.Func[E]
+	// numMax caps parents (0 = unlimited), mirroring DFD-5 / RN-5.
+	numMax int
+}
+
+// spaceRows builds a reference net per variant and per window-count step
+// and reports the quantities of Figures 5–7: node counts, list counts,
+// average list size / parents-per-window, and index megabytes. A cover
+// tree is built alongside the first variant as the size baseline the paper
+// compares against.
+func spaceRows[E any](t *Table, wins []seq.Window[E], steps []int,
+	variants []spaceVariant[E], elemBytes int) {
+	for _, v := range variants {
+		counter := windowCounter(v.fn)
+		net := refnet.New(counter.Distance, refnet.WithMaxParents(v.numMax))
+		ct := covertree.New(counter.Distance, 1)
+		next := 0
+		for _, n := range steps {
+			for ; next < n && next < len(wins); next++ {
+				net.Insert(wins[next])
+				ct.Insert(wins[next])
+			}
+			st := net.StatsWithPayload(windowBytes[E](elemBytes))
+			cts := ct.Stats()
+			ctBytes := cts.StructBytes + int64(st.PayloadBytes)
+			t.Rows = append(t.Rows, []string{
+				v.name,
+				fmt.Sprintf("%d", st.Nodes),
+				fmt.Sprintf("%d", st.Lists),
+				fmt.Sprintf("%d", st.ParentLinks),
+				f(st.AvgParents),
+				f(st.AvgListSize),
+				fmt.Sprintf("%.3f", float64(st.TotalBytes())/(1<<20)),
+				fmt.Sprintf("%.3f", float64(ctBytes)/(1<<20)),
+				f(float64(st.TotalBytes()) / float64(ctBytes)),
+			})
+		}
+	}
+}
+
+var spaceColumns = []string{"variant", "windows", "lists", "links",
+	"avg_parents", "avg_list", "rn_MB", "ct_MB", "rn/ct"}
+
+// Fig05 reproduces Figure 5: reference-net space overhead on PROTEINS
+// under the Levenshtein distance, for growing window counts. Expected
+// shape: node count linear in windows, average parents below ~4, total
+// size a few MB at the top step (the paper reports 2.9 MB at 100K).
+func Fig05(size Size) []Table {
+	var steps []int
+	if size == Paper {
+		for n := 10000; n <= 100000; n += 10000 {
+			steps = append(steps, n)
+		}
+	} else {
+		for n := 1000; n <= 5000; n += 1000 {
+			steps = append(steps, n)
+		}
+	}
+	const wl = 20
+	ds := data.Proteins(steps[len(steps)-1], wl, 1)
+	t := Table{
+		ID:      "fig05",
+		Title:   "Space overhead, PROTEINS / Levenshtein",
+		Columns: spaceColumns,
+		Notes: []string{
+			"expect: links linear in windows; avg_parents < ~4; rn/ct ratio roughly the avg parent count",
+		},
+	}
+	spaceRows(&t, ds.Windows, steps, []spaceVariant[byte]{
+		{name: "RN", fn: dist.LevenshteinFast},
+	}, 1)
+	return []Table{t}
+}
+
+// Fig06 reproduces Figure 6: reference-net space on SONGS for DFD, ERP and
+// DFD with nummax=5 (DFD-5). Expected shape: DFD's skewed distances make
+// the average parent count grow with n and the index large; ERP stays
+// small and flat; DFD-5 pulls DFD's size back near ERP's.
+func Fig06(size Size) []Table {
+	var steps []int
+	if size == Paper {
+		steps = []int{1000, 2000, 5000, 10000, 20000}
+	} else {
+		steps = []int{500, 1000, 2000}
+	}
+	const wl = 20
+	ds := data.Songs(steps[len(steps)-1], wl, 2)
+	t := Table{
+		ID:      "fig06",
+		Title:   "Space overhead, SONGS (DFD vs ERP vs DFD-5)",
+		Columns: spaceColumns,
+		Notes: []string{
+			"expect: DFD avg_parents grows with windows; ERP flat and small; DFD-5 capped near 5 and size near ERP",
+		},
+	}
+	spaceRows(&t, ds.Windows, steps, []spaceVariant[float64]{
+		{name: "DFD", fn: dist.DiscreteFrechet(dist.AbsDiff)},
+		{name: "ERP", fn: dist.ERP(dist.AbsDiff, 0)},
+		{name: "DFD-5", fn: dist.DiscreteFrechet(dist.AbsDiff), numMax: 5},
+	}, 8)
+	return []Table{t}
+}
+
+// Fig07 reproduces Figure 7: reference-net space on TRAJ for DFD and ERP.
+// Expected shape: wide-variance distances give small parent counts for
+// both, and the net stays below ~2× the cover tree.
+func Fig07(size Size) []Table {
+	var steps []int
+	if size == Paper {
+		steps = []int{10000, 20000, 50000, 100000}
+	} else {
+		steps = []int{1000, 2000, 4000}
+	}
+	const wl = 20
+	ds := data.Trajectories(steps[len(steps)-1], wl, 3)
+	t := Table{
+		ID:      "fig07",
+		Title:   "Space overhead, TRAJ (DFD vs ERP)",
+		Columns: spaceColumns,
+		Notes: []string{
+			"expect: small avg_parents for both distances; rn/ct below ~2",
+		},
+	}
+	spaceRows(&t, ds.Windows, steps, []spaceVariant[seq.Point2]{
+		{name: "DFD", fn: dist.DiscreteFrechet(dist.Point2Dist)},
+		{name: "ERP", fn: dist.ERP(dist.Point2Dist, seq.Point2{})},
+	}, 16)
+	return []Table{t}
+}

@@ -1,0 +1,86 @@
+// Package metric defines the metric-space abstractions shared by the index
+// structures (reference net, cover tree, reference-based index) and the
+// naive linear-scan baseline, plus the distance-computation accounting that
+// the paper uses as its primary query-cost metric (Figures 8–11 report the
+// percentage of distance computations relative to a full scan).
+package metric
+
+import "sync/atomic"
+
+// DistFunc measures the dissimilarity of two items. Index structures
+// require it to be a metric: non-negative, zero on identical items,
+// symmetric, and obeying the triangle inequality (Section 3.3 of the
+// paper); correctness of index pruning depends on it.
+type DistFunc[T any] func(a, b T) float64
+
+// Index is the operation set the subsequence-retrieval framework needs
+// from a metric index: incremental construction and range queries.
+type Index[T any] interface {
+	// Insert adds an item to the index.
+	Insert(item T)
+	// Range returns every indexed item within eps of q (inclusive).
+	Range(q T, eps float64) []T
+	// Len reports the number of indexed items.
+	Len() int
+}
+
+// Counter wraps a DistFunc and counts invocations. It is safe for
+// concurrent use; the count is the paper's hardware-independent cost
+// measure for query evaluation.
+type Counter[T any] struct {
+	fn    DistFunc[T]
+	calls atomic.Int64
+}
+
+// NewCounter returns a Counter wrapping fn.
+func NewCounter[T any](fn DistFunc[T]) *Counter[T] {
+	return &Counter[T]{fn: fn}
+}
+
+// Distance evaluates the wrapped function, incrementing the call count.
+func (c *Counter[T]) Distance(a, b T) float64 {
+	c.calls.Add(1)
+	return c.fn(a, b)
+}
+
+// Calls returns the number of Distance invocations since the last Reset.
+func (c *Counter[T]) Calls() int64 { return c.calls.Load() }
+
+// Reset zeroes the call count.
+func (c *Counter[T]) Reset() { c.calls.Store(0) }
+
+// LinearScan is the naive baseline index: it stores items in a slice and
+// answers range queries by computing the distance to every item. The
+// percentage figures in the paper's Figures 8–11 are relative to exactly
+// this strategy.
+type LinearScan[T any] struct {
+	dist  DistFunc[T]
+	items []T
+}
+
+// NewLinearScan returns an empty linear-scan "index" using dist.
+func NewLinearScan[T any](dist DistFunc[T]) *LinearScan[T] {
+	return &LinearScan[T]{dist: dist}
+}
+
+// Insert appends the item.
+func (s *LinearScan[T]) Insert(item T) { s.items = append(s.items, item) }
+
+// Len reports the number of stored items.
+func (s *LinearScan[T]) Len() int { return len(s.items) }
+
+// Range returns all items within eps of q, computing len(items) distances.
+func (s *LinearScan[T]) Range(q T, eps float64) []T {
+	var out []T
+	for _, it := range s.items {
+		if s.dist(q, it) <= eps {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Items exposes the stored items (shared slice; callers must not mutate).
+func (s *LinearScan[T]) Items() []T { return s.items }
+
+var _ Index[int] = (*LinearScan[int])(nil)

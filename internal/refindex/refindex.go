@@ -1,0 +1,197 @@
+// Package refindex implements reference-based indexing for metric spaces
+// (Venkateswaran et al., VLDB 2006), the second baseline of the paper's
+// evaluation. A set of k references is selected with the Maximum Variance
+// heuristic; the index stores the n×k matrix of item-to-reference
+// distances. A range query computes the k query-to-reference distances and
+// uses the triangle inequality to prune items — or certify them — without
+// touching the actual data, falling back to real distance computations only
+// for items the bounds cannot decide.
+//
+// The paper's MV-5 / MV-20 / MV-50 configurations are instances with
+// k = 5, 20, 50; space is Θ(n·k), which is why the paper contrasts them
+// with the linear-space reference net.
+package refindex
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/metric"
+)
+
+// Index is a reference-based metric index built over a fixed item set by
+// Build. It is immutable after construction (matching [36], which
+// precomputes the distance table offline); use Build again to index more
+// data.
+type Index[T any] struct {
+	dist  metric.DistFunc[T]
+	items []T
+	refs  []T
+	// table[i][j] = dist(items[i], refs[j]), laid out row-major.
+	table []float64
+	k     int
+}
+
+// Options configures reference selection.
+type Options struct {
+	// CandidatePool is how many randomly sampled items compete for each
+	// reference slot (default 32).
+	CandidatePool int
+	// SampleSize is how many items each candidate's distance variance is
+	// estimated over (default 128).
+	SampleSize int
+	// Seed seeds candidate and sample selection for reproducibility.
+	Seed uint64
+}
+
+func (o *Options) defaults() {
+	if o.CandidatePool <= 0 {
+		o.CandidatePool = 32
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 128
+	}
+}
+
+// Build constructs an index over items with k references chosen by the
+// Maximum Variance heuristic: among a random candidate pool, pick the
+// items whose distances to a data sample have the largest variance —
+// high-variance references split the data well under triangle-inequality
+// bounds. Build computes n·k distances for the table plus the selection
+// sample costs.
+func Build[T any](items []T, k int, dist metric.DistFunc[T], opts Options) (*Index[T], error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("refindex: k must be positive, got %d", k)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("refindex: no items")
+	}
+	if k > len(items) {
+		k = len(items)
+	}
+	opts.defaults()
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+
+	refs := selectMaxVariance(items, k, dist, opts, rng)
+	idx := &Index[T]{
+		dist:  dist,
+		items: items,
+		refs:  refs,
+		table: make([]float64, len(items)*k),
+		k:     k,
+	}
+	for i, it := range items {
+		row := idx.table[i*k : (i+1)*k]
+		for j, r := range refs {
+			row[j] = dist(it, r)
+		}
+	}
+	return idx, nil
+}
+
+// selectMaxVariance scores a random candidate pool by the variance of their
+// distances to a random data sample and returns the top k scorers.
+func selectMaxVariance[T any](items []T, k int, dist metric.DistFunc[T], opts Options, rng *rand.Rand) []T {
+	pool := opts.CandidatePool * k
+	if pool > len(items) {
+		pool = len(items)
+	}
+	sample := opts.SampleSize
+	if sample > len(items) {
+		sample = len(items)
+	}
+	candIdx := rng.Perm(len(items))[:pool]
+	sampleIdx := rng.Perm(len(items))[:sample]
+
+	type scored struct {
+		idx int
+		v   float64
+	}
+	scoredCands := make([]scored, 0, pool)
+	for _, ci := range candIdx {
+		var sum, sumSq float64
+		for _, si := range sampleIdx {
+			d := dist(items[ci], items[si])
+			sum += d
+			sumSq += d * d
+		}
+		n := float64(len(sampleIdx))
+		mean := sum / n
+		scoredCands = append(scoredCands, scored{ci, sumSq/n - mean*mean})
+	}
+	// Partial selection sort: k is small.
+	refs := make([]T, 0, k)
+	for len(refs) < k && len(scoredCands) > 0 {
+		best := 0
+		for i := 1; i < len(scoredCands); i++ {
+			if scoredCands[i].v > scoredCands[best].v {
+				best = i
+			}
+		}
+		refs = append(refs, items[scoredCands[best].idx])
+		scoredCands[best] = scoredCands[len(scoredCands)-1]
+		scoredCands = scoredCands[:len(scoredCands)-1]
+	}
+	return refs
+}
+
+// Len reports the number of indexed items.
+func (x *Index[T]) Len() int { return len(x.items) }
+
+// K reports the number of references.
+func (x *Index[T]) K() int { return x.k }
+
+// References returns the selected references (shared slice; do not mutate).
+func (x *Index[T]) References() []T { return x.refs }
+
+// TableBytes reports the size of the precomputed distance table, the
+// index's dominant space cost (8 bytes per entry).
+func (x *Index[T]) TableBytes() int64 { return int64(len(x.table)) * 8 }
+
+// Range returns every item within eps of q (inclusive). It computes k
+// reference distances, then for each item derives
+//
+//	lower = max_j |d(q,ref_j) − table[i][j]|   (triangle inequality)
+//	upper = min_j (d(q,ref_j) + table[i][j])
+//
+// pruning when lower > eps, certifying when upper ≤ eps, and computing the
+// true distance only otherwise.
+func (x *Index[T]) Range(q T, eps float64) []T {
+	var out []T
+	x.RangeFunc(q, eps, func(item T) { out = append(out, item) })
+	return out
+}
+
+// RangeFunc streams every item within eps of q to yield.
+func (x *Index[T]) RangeFunc(q T, eps float64, yield func(T)) {
+	qd := make([]float64, x.k)
+	for j, r := range x.refs {
+		qd[j] = x.dist(q, r)
+	}
+	for i, it := range x.items {
+		row := x.table[i*x.k : (i+1)*x.k]
+		lower, upper := 0.0, qd[0]+row[0]
+		for j := 0; j < x.k; j++ {
+			lo := qd[j] - row[j]
+			if lo < 0 {
+				lo = -lo
+			}
+			if lo > lower {
+				lower = lo
+			}
+			if hi := qd[j] + row[j]; hi < upper {
+				upper = hi
+			}
+		}
+		if lower > eps {
+			continue
+		}
+		if upper <= eps {
+			yield(it)
+			continue
+		}
+		if x.dist(q, it) <= eps {
+			yield(it)
+		}
+	}
+}

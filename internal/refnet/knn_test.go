@@ -1,0 +1,142 @@
+package refnet
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// bruteKNN is the oracle: sort all items by distance and take k.
+func bruteKNN(items []float64, q float64, k int) []float64 {
+	ds := make([]float64, len(items))
+	for i, v := range items {
+		ds[i] = absDist(q, v)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	n := New(absDist)
+	var items []float64
+	for i := 0; i < 400; i++ {
+		v := rng.Float64() * 500
+		items = append(items, v)
+		n.Insert(v)
+	}
+	for _, k := range []int{1, 3, 10, 50} {
+		for trial := 0; trial < 15; trial++ {
+			q := rng.Float64() * 500
+			got := n.KNN(q, k)
+			if len(got) != k {
+				t.Fatalf("k=%d: got %d results", k, len(got))
+			}
+			want := bruteKNN(items, q, k)
+			for i := range got {
+				// Compare distance multisets (ties may reorder items).
+				if got[i].Dist != want[i] {
+					t.Fatalf("k=%d q=%v: rank %d distance %v, want %v", k, q, i, got[i].Dist, want[i])
+				}
+				if absDist(q, got[i].Item) != got[i].Dist {
+					t.Fatalf("reported distance inconsistent with item")
+				}
+			}
+			// Results must be sorted ascending.
+			for i := 1; i < len(got); i++ {
+				if got[i].Dist < got[i-1].Dist {
+					t.Fatalf("results not sorted: %v", got)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	n := New(absDist)
+	if got := n.KNN(1, 3); got != nil {
+		t.Errorf("empty net KNN = %v", got)
+	}
+	n.Insert(5)
+	n.Insert(9)
+	if got := n.KNN(6, 0); got != nil {
+		t.Errorf("k=0 → %v", got)
+	}
+	got := n.KNN(6, 10) // k larger than the net
+	if len(got) != 2 {
+		t.Fatalf("k>n returned %d items", len(got))
+	}
+	if got[0].Item != 5 || got[1].Item != 9 {
+		t.Errorf("wrong order: %v", got)
+	}
+	nn, ok := n.NearestNeighbor(8.5)
+	if !ok || nn.Item != 9 {
+		t.Errorf("NearestNeighbor = %v ok=%v", nn, ok)
+	}
+	if _, ok := New(absDist).NearestNeighbor(1); ok {
+		t.Error("NN on empty net reported ok")
+	}
+}
+
+func TestKNNClusteredPrunes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	counter := metric.NewCounter(absDist)
+	n := New(counter.Distance)
+	const N = 2000
+	var items []float64
+	for i := 0; i < N; i++ {
+		v := float64(i%20)*1000 + rng.Float64()
+		items = append(items, v)
+		n.Insert(v)
+	}
+	counter.Reset()
+	got := n.KNN(5000.5, 5)
+	calls := counter.Calls()
+	want := bruteKNN(items, 5000.5, 5)
+	for i := range got {
+		if got[i].Dist != want[i] {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, want[i])
+		}
+	}
+	if calls >= N/2 {
+		t.Errorf("KNN computed %d distances of %d; branch-and-bound ineffective", calls, N)
+	}
+}
+
+func TestKNNAfterDeletions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(65, 66))
+	n := New(absDist)
+	type entry struct {
+		v float64
+		h *Node[float64]
+	}
+	var live []entry
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 100
+		live = append(live, entry{v, n.InsertTracked(v)})
+	}
+	for i := 0; i < 150; i++ {
+		j := rng.IntN(len(live))
+		if err := n.Delete(live[j].h); err != nil {
+			t.Fatal(err)
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	vals := make([]float64, len(live))
+	for i, e := range live {
+		vals[i] = e.v
+	}
+	got := n.KNN(42, 7)
+	want := bruteKNN(vals, 42, 7)
+	for i := range got {
+		if got[i].Dist != want[i] {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, want[i])
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package refnet
+
+// Range query (Appendix A.3). The traversal maintains, per query, the two
+// certainty sets of the paper — items proven inside the ball and items
+// proven outside — realised here as a decided map plus the result slice,
+// and additionally a map of computed query-to-node distances.
+//
+// For a child c of a node whose distance is known, the triangle inequality
+// through EVERY parent of c with a computed distance gives bounds
+//
+//	lo = max over known parents p of |δ(q,p) − δ(p,c)|
+//	hi = min over known parents p of  δ(q,p) + δ(p,c)
+//
+// (δ(p,c) is stored on the edge at insertion time, so these cost no
+// distance computations). This is exactly the multi-parent advantage the
+// paper illustrates in Figure 2: a node sitting in several reference
+// lists can be certified through whichever reference yields the tightest
+// bound — a single-parent tree has no such choice. Writing ρ for the
+// subtree cover radius of c, the rules are then:
+//
+//  1. lo − ρ > ε  ⇒ the whole subtree of c is outside; prune with no
+//     distance computation (Lemma 4 generalised with stored distances).
+//  2. hi + ρ ≤ ε  ⇒ the whole subtree of c is inside; collect with no
+//     distance computation.
+//  3. otherwise compute dc = δ(q,c); then dc − ρ > ε prunes and
+//     dc + ρ ≤ ε collects the subtree, as in the Appendix.
+//  4. inconclusive ⇒ report c if dc ≤ ε and recurse into its children.
+//
+// Multi-parent sharing means a node can be reached along several paths;
+// the decided map guarantees each node's membership is settled exactly
+// once.
+
+// Range returns every item within eps of q (inclusive).
+func (t *Net[T]) Range(q T, eps float64) []T {
+	var out []T
+	t.RangeFunc(q, eps, func(item T) { out = append(out, item) })
+	return out
+}
+
+// RangeFunc streams every item within eps of q to yield, avoiding result
+// slice allocation. The order of results is unspecified.
+func (t *Net[T]) RangeFunc(q T, eps float64, yield func(T)) {
+	if t.root == nil {
+		return
+	}
+	d := t.dist(q, t.root.item)
+	decided := make(map[*Node[T]]bool, 64)
+	computed := make(map[*Node[T]]float64, 64)
+	decided[t.root] = true
+	computed[t.root] = d
+	if d <= eps {
+		yield(t.root.item)
+	}
+	type entry struct {
+		n *Node[T]
+		d float64
+	}
+	stack := []entry{{t.root, d}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, d := e.n, e.d
+		for _, ce := range n.children {
+			c := ce.n
+			if decided[c] {
+				continue
+			}
+			rho := t.CoverRadius(c.level)
+			if !t.noEdgeBounds {
+				lo := d - ce.d
+				if lo < 0 {
+					lo = -lo
+				}
+				hi := d + ce.d
+				// Tighten through every other parent already computed.
+				for _, pe := range c.parents {
+					if pe.n == n {
+						continue
+					}
+					dp, ok := computed[pe.n]
+					if !ok {
+						continue
+					}
+					if l := dp - pe.d; l > lo {
+						lo = l
+					} else if -l > lo {
+						lo = -l
+					}
+					if h := dp + pe.d; h < hi {
+						hi = h
+					}
+				}
+				if lo-rho > eps {
+					t.markSubtree(c, decided)
+					continue
+				}
+				if hi+rho <= eps {
+					t.collectSubtree(c, decided, yield)
+					continue
+				}
+			}
+			dc := t.dist(q, c.item)
+			computed[c] = dc
+			if dc-rho > eps {
+				t.markSubtree(c, decided)
+				continue
+			}
+			if dc+rho <= eps {
+				t.collectSubtree(c, decided, yield)
+				continue
+			}
+			decided[c] = true
+			if dc <= eps {
+				yield(c.item)
+			}
+			if len(c.children) > 0 {
+				stack = append(stack, entry{c, dc})
+			}
+		}
+	}
+}
+
+// markSubtree marks c and its multi-parent descendants as decided
+// (outside the ball). Mirroring the Appendix, this prevents re-examining,
+// via another parent, nodes already excluded by a subtree bound. Nodes
+// with a single parent are reachable only through this walk, so skipping
+// their map entries is safe and keeps per-query bookkeeping proportional
+// to the multi-parent population rather than the subtree size.
+func (t *Net[T]) markSubtree(c *Node[T], decided map[*Node[T]]bool) {
+	if len(c.parents) > 1 {
+		if decided[c] {
+			return
+		}
+		decided[c] = true
+	}
+	for _, e := range c.children {
+		t.markSubtree(e.n, decided)
+	}
+}
+
+// collectSubtree reports c and all its not-yet-decided descendants as
+// results, with the same single-parent marking optimisation as
+// markSubtree (a single-parent node can be collected only through its one
+// parent, so it cannot be yielded twice).
+func (t *Net[T]) collectSubtree(c *Node[T], decided map[*Node[T]]bool, yield func(T)) {
+	if len(c.parents) > 1 {
+		if decided[c] {
+			return
+		}
+		decided[c] = true
+	}
+	yield(c.item)
+	for _, e := range c.children {
+		t.collectSubtree(e.n, decided, yield)
+	}
+}
+
+// BatchRange answers many range queries with the same radius in a single
+// traversal of the net (Section 7: "it is possible that many queries are
+// executed at the same time on the index structure in a single traversal").
+// Result i holds the items within eps of qs[i]. The total number of
+// distance computations matches per-query Range calls; the saving is in
+// traversal overhead and locality when the query set is large.
+func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
+	out := make([][]T, len(qs))
+	if t.root == nil || len(qs) == 0 {
+		return out
+	}
+	decided := make([]map[*Node[T]]bool, len(qs))
+	computed := make([]map[*Node[T]]float64, len(qs))
+	type qd struct {
+		qi int
+		d  float64
+	}
+	rootActive := make([]qd, 0, len(qs))
+	for i, q := range qs {
+		d := t.dist(q, t.root.item)
+		decided[i] = map[*Node[T]]bool{t.root: true}
+		computed[i] = map[*Node[T]]float64{t.root: d}
+		if d <= eps {
+			out[i] = append(out[i], t.root.item)
+		}
+		rootActive = append(rootActive, qd{i, d})
+	}
+	type entry struct {
+		n      *Node[T]
+		active []qd
+	}
+	stack := []entry{{t.root, rootActive}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ce := range e.n.children {
+			c := ce.n
+			rho := t.CoverRadius(c.level)
+			var next []qd
+			for _, a := range e.active {
+				if decided[a.qi][c] {
+					continue
+				}
+				lo := a.d - ce.d
+				if lo < 0 {
+					lo = -lo
+				}
+				hi := a.d + ce.d
+				for _, pe := range c.parents {
+					if pe.n == e.n {
+						continue
+					}
+					dp, ok := computed[a.qi][pe.n]
+					if !ok {
+						continue
+					}
+					if l := dp - pe.d; l > lo {
+						lo = l
+					} else if -l > lo {
+						lo = -l
+					}
+					if h := dp + pe.d; h < hi {
+						hi = h
+					}
+				}
+				if lo-rho > eps {
+					t.markSubtree(c, decided[a.qi])
+					continue
+				}
+				if hi+rho <= eps {
+					t.collectSubtree(c, decided[a.qi], func(item T) {
+						out[a.qi] = append(out[a.qi], item)
+					})
+					continue
+				}
+				dc := t.dist(qs[a.qi], c.item)
+				computed[a.qi][c] = dc
+				if dc-rho > eps {
+					t.markSubtree(c, decided[a.qi])
+					continue
+				}
+				if dc+rho <= eps {
+					t.collectSubtree(c, decided[a.qi], func(item T) {
+						out[a.qi] = append(out[a.qi], item)
+					})
+					continue
+				}
+				decided[a.qi][c] = true
+				if dc <= eps {
+					out[a.qi] = append(out[a.qi], c.item)
+				}
+				next = append(next, qd{a.qi, dc})
+			}
+			if len(next) > 0 && len(c.children) > 0 {
+				stack = append(stack, entry{c, next})
+			}
+		}
+	}
+	return out
+}

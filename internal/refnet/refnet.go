@@ -1,0 +1,263 @@
+// Package refnet implements the Reference Net of Section 6 and Appendix A
+// of the paper: a linear-space hierarchical index for metric spaces,
+// optimised for range queries.
+//
+// # Structure
+//
+// The net has levels 0..r-1. Level radii grow geometrically: ǫᵢ = ǫ′·2ⁱ
+// where ǫ′ is the base radius. Every item is a node stored once, at the
+// highest level where it acts as a reference (level 0 for plain data
+// points); conceptually a node at level i is also present at every level
+// below i. A node R at level i keeps, for every level k ≤ i, a list L(k,R)
+// of the level k−1 nodes z with δ(R,z) ≤ ǫₖ that chose R as a parent.
+//
+// Two invariants from the paper govern the structure:
+//
+//   - inclusive: every non-root node has at least one parent in the level
+//     above, within that level's radius. This package maintains it exactly;
+//     range-query correctness depends on it (plus the triangle inequality).
+//   - exclusive: references on the same level are at least the level radius
+//     apart. Like the paper's Algorithm 1, insertion enforces this against
+//     the candidate frontier it examines, which makes it exact for
+//     single-parent chains and best-effort in general; it affects pruning
+//     efficiency only, never correctness.
+//
+// Unlike a cover tree, a node may have multiple parents (every qualifying
+// reference up to an optional cap nummax, nearest first). Multi-parenthood
+// is what lets a single reference certify more of the database during range
+// queries (Figure 2 of the paper).
+//
+// # Complexity
+//
+// Space is O(n·p) where p is the average parent count (bounded by nummax
+// when set; observed below 4 on the paper's datasets). Insertion and range
+// queries compute distances only against the candidate frontier, which for
+// well-spread data is logarithmic in practice.
+package refnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metric"
+)
+
+// Compile-time check: Net satisfies the shared index interface.
+var _ metric.Index[int] = (*Net[int])(nil)
+
+// Net is a reference net over items of type T. It must be created with New;
+// the zero value is not usable. A Net is not safe for concurrent mutation;
+// concurrent read-only queries are safe.
+type Net[T any] struct {
+	dist   metric.DistFunc[T]
+	base   float64 // ǫ′, the level-0 radius scale
+	numMax int     // max parents per node; 0 = unlimited
+	// noEdgeBounds disables the stored-distance child bounds during range
+	// queries (ablation; see WithEdgeBounds).
+	noEdgeBounds bool
+	root         *Node[T]
+	size         int
+}
+
+// Node is a handle to an item stored in the net, returned by InsertTracked
+// and accepted by Delete. Handles become invalid after the item is deleted.
+type Node[T any] struct {
+	item     T
+	level    int
+	children []edge[T]
+	parents  []edge[T] // back-links with the same stored distances
+}
+
+// Item returns the stored item.
+func (n *Node[T]) Item() T { return n.item }
+
+// Level returns the node's reference level (0 for plain data points).
+func (n *Node[T]) Level() int { return n.level }
+
+// edge is a parent→child link annotated with the parent-child distance,
+// precomputed at attach time so range queries can include or exclude
+// children without fresh distance computations.
+type edge[T any] struct {
+	n *Node[T]
+	d float64
+}
+
+// Option configures a Net.
+type Option func(*config)
+
+type config struct {
+	base         float64
+	numMax       int
+	noEdgeBounds bool
+}
+
+// WithBase sets the base radius ǫ′ (default 1, the paper's default in all
+// experiments). Level i has radius ǫ′·2ⁱ.
+func WithBase(base float64) Option { return func(c *config) { c.base = base } }
+
+// WithMaxParents caps the number of lists a node may appear in (the paper's
+// nummax; e.g. 5 for the DFD-5 and RN-5 configurations). Zero means
+// unlimited.
+func WithMaxParents(n int) Option { return func(c *config) { c.numMax = n } }
+
+// WithEdgeBounds toggles the zero-computation child bounds derived from
+// stored parent-child distances during range queries (default on). It
+// exists for the ablation benchmarks: turning it off degrades queries to
+// the paper's bare list-radius rules, quantifying what the stored
+// distances buy.
+func WithEdgeBounds(on bool) Option { return func(c *config) { c.noEdgeBounds = !on } }
+
+// New returns an empty reference net using the given metric distance.
+// The distance must satisfy the metric axioms; the net's pruning is unsound
+// otherwise (use the framework's linear-scan path for non-metric measures
+// such as DTW).
+func New[T any](dist metric.DistFunc[T], opts ...Option) *Net[T] {
+	cfg := config{base: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.base <= 0 {
+		panic(fmt.Sprintf("refnet: base radius must be positive, got %v", cfg.base))
+	}
+	if cfg.numMax < 0 {
+		panic(fmt.Sprintf("refnet: max parents must be non-negative, got %d", cfg.numMax))
+	}
+	return &Net[T]{dist: dist, base: cfg.base, numMax: cfg.numMax, noEdgeBounds: cfg.noEdgeBounds}
+}
+
+// Eps returns the radius ǫ′·2ⁱ of level i.
+func (t *Net[T]) Eps(i int) float64 { return math.Ldexp(t.base, i) }
+
+// CoverRadius returns an upper bound on the distance from a level-l node to
+// any node in its subtree: Σ_{k=1..l} ǫₖ = ǫ′·(2^{l+1} − 2). This is the
+// "derived from R(i,j)" bound of Lemma 4 and the Appendix's range query.
+func (t *Net[T]) CoverRadius(level int) float64 {
+	if level <= 0 {
+		return 0
+	}
+	return math.Ldexp(t.base, level+1) - 2*t.base
+}
+
+// Len reports the number of items in the net.
+func (t *Net[T]) Len() int { return t.size }
+
+// Base returns the base radius ǫ′.
+func (t *Net[T]) Base() float64 { return t.base }
+
+// MaxParents returns the parent cap (0 = unlimited).
+func (t *Net[T]) MaxParents() int { return t.numMax }
+
+// Insert adds an item to the net (Appendix A.1).
+func (t *Net[T]) Insert(item T) { t.InsertTracked(item) }
+
+// InsertTracked adds an item and returns its node handle, which can later
+// be passed to Delete.
+func (t *Net[T]) InsertTracked(item T) *Node[T] {
+	t.size++
+	if t.root == nil {
+		t.root = &Node[T]{item: item, level: 1}
+		return t.root
+	}
+	level, parents := t.descend(item)
+	n := &Node[T]{item: item, level: level}
+	t.attach(n, parents)
+	return n
+}
+
+// cand is a frontier entry during descent: a node plus its (already
+// computed) distance to the item being located.
+type cand[T any] struct {
+	n *Node[T]
+	d float64
+}
+
+// descend runs the top-down location pass shared by insertion and orphan
+// re-homing. It returns the level the item belongs at, and the qualifying
+// parents (conceptual nodes of the level above within that level's radius,
+// with distances).
+//
+// The frontier P at conceptual level i provably contains every node of
+// level ≥ i within 2ǫᵢ of the item: a level-(i−1) node z within 2ǫ_{i−1}
+// has each of its parents p within δ(z,p) ≤ ǫᵢ, so δ(item,p) ≤ 2ǫ_{i−1} +
+// ǫᵢ = 2ǫᵢ, hence p was on the previous frontier and z is enumerated among
+// its children. The item's level is then i*−1 for the lowest level i* at
+// which some conceptual node lies within ǫ_{i*}; the frontier's 2ǫ bound
+// makes that test exact.
+func (t *Net[T]) descend(item T) (level int, parents []cand[T]) {
+	d := t.dist(item, t.root.item)
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		panic("refnet: non-finite distance to root; the item cannot be indexed")
+	}
+	for d > t.Eps(t.root.level) {
+		t.root.level++
+	}
+	cur := []cand[T]{{t.root, d}}
+	visited := map[*Node[T]]bool{t.root: true}
+	bestLevel := -1
+	var bestParents []cand[T]
+	for i := t.root.level; i >= 1; i-- {
+		epsI := t.Eps(i)
+		var within []cand[T]
+		for _, c := range cur {
+			if c.d <= epsI {
+				within = append(within, c)
+			}
+		}
+		if len(within) > 0 {
+			bestLevel = i
+			bestParents = within
+		}
+		if i == 1 {
+			break
+		}
+		// Frontier for conceptual level i−1: keep everything within
+		// 2ǫ_{i−1} = ǫᵢ, adding the level-(i−1) children of the current
+		// frontier. The stored parent-child distance gives a free lower
+		// bound |δ(item,p) − δ(p,c)| ≤ δ(item,c) that skips most children
+		// without a distance computation.
+		bound := epsI
+		next := cur[:0:0]
+		for _, c := range cur {
+			if c.d <= bound {
+				next = append(next, c)
+			}
+		}
+		for _, c := range cur {
+			for _, e := range c.n.children {
+				if e.n.level != i-1 || visited[e.n] {
+					continue
+				}
+				if lb := c.d - e.d; lb > bound || -lb > bound {
+					visited[e.n] = true
+					continue
+				}
+				visited[e.n] = true
+				dd := t.dist(item, e.n.item)
+				if dd <= bound {
+					next = append(next, cand[T]{e.n, dd})
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		cur = next
+	}
+	// bestLevel ≥ 1 always: the root qualifies at its own level after the
+	// raise loop above.
+	return bestLevel - 1, bestParents
+}
+
+// attach links n under the given candidate parents, nearest first, capped
+// at numMax when set.
+func (t *Net[T]) attach(n *Node[T], parents []cand[T]) {
+	sort.Slice(parents, func(i, j int) bool { return parents[i].d < parents[j].d })
+	if t.numMax > 0 && len(parents) > t.numMax {
+		parents = parents[:t.numMax]
+	}
+	for _, p := range parents {
+		p.n.children = append(p.n.children, edge[T]{n: n, d: p.d})
+		n.parents = append(n.parents, edge[T]{n: p.n, d: p.d})
+	}
+}

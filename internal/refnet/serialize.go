@@ -1,0 +1,103 @@
+package refnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Persistence. A net is serialised as a flat adjacency list: nodes in a
+// stable walk order with their levels and items, plus parent→child edges
+// carrying the stored distances. Loading therefore needs NO distance
+// computations — important when the metric is expensive (edit distances
+// over long windows), since rebuilding a 100K-window net costs millions
+// of distance evaluations while decoding costs none.
+//
+// The item type T must be encodable by encoding/gob (exported fields,
+// no functions). The distance function is not serialised; the loader
+// supplies it and remains responsible for it matching the builder's.
+
+// netWire is the on-the-wire representation.
+type netWire[T any] struct {
+	Base   float64
+	NumMax int
+	Size   int
+	// Levels[i] is the level of node i; Items[i] its payload. Node 0 is
+	// the root.
+	Levels []int
+	Items  []T
+	// Edges are parent→child links with stored distances.
+	EdgeParent []int32
+	EdgeChild  []int32
+	EdgeDist   []float64
+}
+
+// Save writes the net to w in gob format.
+func (t *Net[T]) Save(w io.Writer) error {
+	wire := netWire[T]{Base: t.base, NumMax: t.numMax, Size: t.size}
+	index := make(map[*Node[T]]int32, t.size)
+	t.walk(func(n *Node[T]) {
+		index[n] = int32(len(wire.Items))
+		wire.Items = append(wire.Items, n.item)
+		wire.Levels = append(wire.Levels, n.level)
+	})
+	t.walk(func(n *Node[T]) {
+		pi := index[n]
+		for _, e := range n.children {
+			wire.EdgeParent = append(wire.EdgeParent, pi)
+			wire.EdgeChild = append(wire.EdgeChild, index[e.n])
+			wire.EdgeDist = append(wire.EdgeDist, e.d)
+		}
+	})
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("refnet: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a net written by Save, attaching the given distance function
+// (which must be the same metric the net was built with; Validate can
+// verify that, at the cost of recomputing every edge).
+func Load[T any](r io.Reader, dist func(a, b T) float64) (*Net[T], error) {
+	var wire netWire[T]
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("refnet: decode: %w", err)
+	}
+	if len(wire.Items) != len(wire.Levels) {
+		return nil, fmt.Errorf("refnet: corrupt stream: %d items, %d levels", len(wire.Items), len(wire.Levels))
+	}
+	if len(wire.EdgeParent) != len(wire.EdgeChild) || len(wire.EdgeParent) != len(wire.EdgeDist) {
+		return nil, fmt.Errorf("refnet: corrupt stream: ragged edge arrays")
+	}
+	t := &Net[T]{dist: dist, base: wire.Base, numMax: wire.NumMax, size: wire.Size}
+	if wire.Base <= 0 {
+		return nil, fmt.Errorf("refnet: corrupt stream: base %v", wire.Base)
+	}
+	if len(wire.Items) == 0 {
+		if wire.Size != 0 {
+			return nil, fmt.Errorf("refnet: corrupt stream: empty net with size %d", wire.Size)
+		}
+		return t, nil
+	}
+	nodes := make([]*Node[T], len(wire.Items))
+	for i := range nodes {
+		nodes[i] = &Node[T]{item: wire.Items[i], level: wire.Levels[i]}
+	}
+	for i := range wire.EdgeParent {
+		pi, ci := wire.EdgeParent[i], wire.EdgeChild[i]
+		if pi < 0 || int(pi) >= len(nodes) || ci < 0 || int(ci) >= len(nodes) {
+			return nil, fmt.Errorf("refnet: corrupt stream: edge %d out of range", i)
+		}
+		p, c := nodes[pi], nodes[ci]
+		p.children = append(p.children, edge[T]{n: c, d: wire.EdgeDist[i]})
+		c.parents = append(c.parents, edge[T]{n: p, d: wire.EdgeDist[i]})
+	}
+	t.root = nodes[0]
+	if len(t.root.parents) != 0 {
+		return nil, fmt.Errorf("refnet: corrupt stream: root has parents")
+	}
+	if wire.Size != len(nodes) {
+		return nil, fmt.Errorf("refnet: corrupt stream: size %d but %d nodes", wire.Size, len(nodes))
+	}
+	return t, nil
+}

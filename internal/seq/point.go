@@ -1,0 +1,12 @@
+package seq
+
+import "fmt"
+
+// Point2 is a point in the plane, the element type for trajectory
+// sequences (the paper's TRAJ dataset: Σ = {(x, y)} ⊆ R²).
+type Point2 struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point2) String() string { return fmt.Sprintf("(%.3f,%.3f)", p.X, p.Y) }

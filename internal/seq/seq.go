@@ -1,0 +1,131 @@
+// Package seq defines the sequence model used throughout the framework:
+// generic sequences over an arbitrary element alphabet, the fixed-length
+// database windows of Section 5 of the paper, and the variable-length query
+// segments of Section 7.
+//
+// In the paper's notation a sequence X = (x1, ..., x|X|) has elements drawn
+// from an alphabet Σ. Σ may be a finite character set (strings), the reals
+// (time series) or a multi-dimensional space (trajectories). Here Σ is the
+// Go type parameter E.
+package seq
+
+import "fmt"
+
+// Sequence is an ordered series of elements of type E. The zero value is an
+// empty sequence. Subsequences are contiguous runs of elements, in line with
+// the paper ("Subsequence SX and SQ should be continuous").
+type Sequence[E any] []E
+
+// Sub returns the subsequence with elements [start, end) as a view over the
+// same backing array. It panics if the bounds are invalid, mirroring slice
+// semantics.
+func (s Sequence[E]) Sub(start, end int) Sequence[E] {
+	return Sequence[E](s[start:end])
+}
+
+// Len returns the number of elements.
+func (s Sequence[E]) Len() int { return len(s) }
+
+// Window is a fixed-length window of a database sequence, produced by
+// Partition. Windows are the unit stored in the metric index: the paper
+// partitions each database sequence into non-overlapping windows of length
+// l = λ/2 (Lemma 2 requires l ≤ λ/2 for completeness).
+type Window[E any] struct {
+	// SeqID identifies the database sequence the window came from.
+	SeqID int
+	// Ord is the ordinal of the window within its sequence (0-based), so
+	// the window covers elements [Ord*len(Data), Ord*len(Data)+len(Data)).
+	Ord int
+	// Start is the element offset of the window within its sequence.
+	Start int
+	// Data is a view of the window's elements.
+	Data Sequence[E]
+}
+
+// End returns the element offset one past the window's last element.
+func (w Window[E]) End() int { return w.Start + len(w.Data) }
+
+// String implements fmt.Stringer for diagnostics.
+func (w Window[E]) String() string {
+	return fmt.Sprintf("win{seq=%d ord=%d [%d,%d)}", w.SeqID, w.Ord, w.Start, w.End())
+}
+
+// Partition splits x into consecutive non-overlapping windows of length l,
+// labelled with seqID. A trailing run shorter than l is discarded, matching
+// the paper's fixed-length window construction. Partition panics if l <= 0.
+func Partition[E any](seqID int, x Sequence[E], l int) []Window[E] {
+	if l <= 0 {
+		panic(fmt.Sprintf("seq: Partition window length must be positive, got %d", l))
+	}
+	n := len(x) / l
+	wins := make([]Window[E], 0, n)
+	for i := 0; i < n; i++ {
+		wins = append(wins, Window[E]{
+			SeqID: seqID,
+			Ord:   i,
+			Start: i * l,
+			Data:  x.Sub(i*l, (i+1)*l),
+		})
+	}
+	return wins
+}
+
+// PartitionAll partitions every sequence in db into windows of length l,
+// concatenating the results. Sequence IDs are the indices into db.
+func PartitionAll[E any](db []Sequence[E], l int) []Window[E] {
+	var wins []Window[E]
+	for id, x := range db {
+		wins = append(wins, Partition(id, x, l)...)
+	}
+	return wins
+}
+
+// Segment is a variable-length query segment extracted by Segments. Step 3
+// of the framework extracts from the query Q all segments with lengths
+// between λ/2−λ0 and λ/2+λ0.
+type Segment[E any] struct {
+	// Start is the element offset of the segment within the query.
+	Start int
+	// Data is a view of the segment's elements.
+	Data Sequence[E]
+}
+
+// End returns the element offset one past the segment's last element.
+func (s Segment[E]) End() int { return s.Start + len(s.Data) }
+
+// String implements fmt.Stringer for diagnostics.
+func (s Segment[E]) String() string {
+	return fmt.Sprintf("seg{[%d,%d)}", s.Start, s.End())
+}
+
+// Segments extracts every segment of q whose length is in [minLen, maxLen],
+// at every start offset. This produces at most (maxLen-minLen+1)*|Q|
+// segments — the paper's (2λ0+1)|Q| bound with minLen = λ/2−λ0 and
+// maxLen = λ/2+λ0. Lengths are clamped to [1, len(q)]; if the clamped range
+// is empty, Segments returns nil.
+func Segments[E any](q Sequence[E], minLen, maxLen int) []Segment[E] {
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen > len(q) {
+		maxLen = len(q)
+	}
+	if minLen > maxLen {
+		return nil
+	}
+	var segs []Segment[E]
+	for length := minLen; length <= maxLen; length++ {
+		for start := 0; start+length <= len(q); start++ {
+			segs = append(segs, Segment[E]{Start: start, Data: q.Sub(start, start+length)})
+		}
+	}
+	return segs
+}
+
+// SegmentsFor returns the query segments mandated by the framework for
+// minimal match length lambda and maximal shift lambda0: all segments of
+// lengths λ/2−λ0 … λ/2+λ0.
+func SegmentsFor[E any](q Sequence[E], lambda, lambda0 int) []Segment[E] {
+	l := lambda / 2
+	return Segments(q, l-lambda0, l+lambda0)
+}

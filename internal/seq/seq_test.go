@@ -1,0 +1,182 @@
+package seq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionBasic(t *testing.T) {
+	x := Sequence[int]{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	wins := Partition(7, x, 3)
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3 (trailing partial discarded)", len(wins))
+	}
+	for i, w := range wins {
+		if w.SeqID != 7 {
+			t.Errorf("window %d SeqID = %d, want 7", i, w.SeqID)
+		}
+		if w.Ord != i {
+			t.Errorf("window %d Ord = %d", i, w.Ord)
+		}
+		if w.Start != i*3 || w.End() != i*3+3 {
+			t.Errorf("window %d covers [%d,%d), want [%d,%d)", i, w.Start, w.End(), i*3, i*3+3)
+		}
+		for j, v := range w.Data {
+			if v != i*3+j {
+				t.Errorf("window %d element %d = %d, want %d", i, j, v, i*3+j)
+			}
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if wins := Partition(0, Sequence[int]{1, 2}, 3); len(wins) != 0 {
+		t.Errorf("sequence shorter than window: got %d windows, want 0", len(wins))
+	}
+	if wins := Partition(0, Sequence[int]{}, 1); len(wins) != 0 {
+		t.Errorf("empty sequence: got %d windows, want 0", len(wins))
+	}
+	if wins := Partition(0, Sequence[int]{1, 2, 3}, 3); len(wins) != 1 {
+		t.Errorf("exact fit: got %d windows, want 1", len(wins))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive window length")
+		}
+	}()
+	Partition(0, Sequence[int]{1}, 0)
+}
+
+func TestPartitionAllAssignsSequenceIDs(t *testing.T) {
+	db := []Sequence[int]{{1, 2, 3, 4}, {5, 6}, {7, 8, 9}}
+	wins := PartitionAll(db, 2)
+	wantIDs := []int{0, 0, 1, 2}
+	if len(wins) != len(wantIDs) {
+		t.Fatalf("got %d windows, want %d", len(wins), len(wantIDs))
+	}
+	for i, w := range wins {
+		if w.SeqID != wantIDs[i] {
+			t.Errorf("window %d SeqID = %d, want %d", i, w.SeqID, wantIDs[i])
+		}
+	}
+}
+
+func TestSegmentsEnumeration(t *testing.T) {
+	q := Sequence[int]{10, 20, 30, 40}
+	segs := Segments(q, 2, 3)
+	// Lengths 2: starts 0,1,2; length 3: starts 0,1 → 5 segments.
+	if len(segs) != 5 {
+		t.Fatalf("got %d segments, want 5", len(segs))
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range segs {
+		seen[[2]int{s.Start, len(s.Data)}] = true
+		for j, v := range s.Data {
+			if v != q[s.Start+j] {
+				t.Errorf("segment %v data mismatch at %d", s, j)
+			}
+		}
+	}
+	for _, want := range [][2]int{{0, 2}, {1, 2}, {2, 2}, {0, 3}, {1, 3}} {
+		if !seen[want] {
+			t.Errorf("missing segment start=%d len=%d", want[0], want[1])
+		}
+	}
+}
+
+func TestSegmentsClamping(t *testing.T) {
+	q := Sequence[int]{1, 2, 3}
+	if segs := Segments(q, -5, 99); len(segs) != 6 {
+		// lengths 1,2,3 → 3+2+1 = 6
+		t.Errorf("clamped enumeration: got %d segments, want 6", len(segs))
+	}
+	if segs := Segments(q, 5, 7); segs != nil {
+		t.Errorf("impossible range: got %v, want nil", segs)
+	}
+}
+
+func TestSegmentsForMatchesPaperCount(t *testing.T) {
+	// The paper bounds the segment count by (2λ0+1)·|Q|.
+	lambda, lambda0 := 8, 1
+	q := make(Sequence[int], 30)
+	segs := SegmentsFor(q, lambda, lambda0)
+	bound := (2*lambda0 + 1) * len(q)
+	if len(segs) > bound {
+		t.Errorf("segment count %d exceeds paper bound %d", len(segs), bound)
+	}
+	// All lengths must lie in [λ/2−λ0, λ/2+λ0].
+	for _, s := range segs {
+		if l := len(s.Data); l < lambda/2-lambda0 || l > lambda/2+lambda0 {
+			t.Errorf("segment length %d outside [%d,%d]", l, lambda/2-lambda0, lambda/2+lambda0)
+		}
+	}
+}
+
+// Property: every window returned by Partition reads back the original
+// elements, windows tile without overlap, and every position not in the
+// discarded tail is covered exactly once.
+func TestPartitionTilingProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	err := quick.Check(func(n uint8, l uint8) bool {
+		length := int(n % 64)
+		wl := 1 + int(l%8)
+		x := make(Sequence[int], length)
+		for i := range x {
+			x[i] = i * 31
+		}
+		wins := Partition(3, x, wl)
+		covered := make([]int, length)
+		for _, w := range wins {
+			if len(w.Data) != wl {
+				return false
+			}
+			for j := range w.Data {
+				if !reflect.DeepEqual(w.Data[j], x[w.Start+j]) {
+					return false
+				}
+				covered[w.Start+j]++
+			}
+		}
+		full := (length / wl) * wl
+		for i := 0; i < full; i++ {
+			if covered[i] != 1 {
+				return false
+			}
+		}
+		for i := full; i < length; i++ {
+			if covered[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowAndSegmentStrings(t *testing.T) {
+	w := Window[int]{SeqID: 1, Ord: 2, Start: 6, Data: Sequence[int]{1, 2, 3}}
+	if got := w.String(); got != "win{seq=1 ord=2 [6,9)}" {
+		t.Errorf("Window.String() = %q", got)
+	}
+	s := Segment[int]{Start: 4, Data: Sequence[int]{9, 9}}
+	if got := s.String(); got != "seg{[4,6)}" {
+		t.Errorf("Segment.String() = %q", got)
+	}
+}
+
+func TestSubView(t *testing.T) {
+	x := Sequence[int]{1, 2, 3, 4}
+	sub := x.Sub(1, 3)
+	if sub.Len() != 2 || sub[0] != 2 || sub[1] != 3 {
+		t.Errorf("Sub(1,3) = %v", sub)
+	}
+	// Views share backing storage.
+	x[1] = 99
+	if sub[0] != 99 {
+		t.Error("Sub is not a view over the original sequence")
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness needs: histograms of pairwise distance samples (Figure 4 and the
+// distribution overlays of Figures 10 and 12) and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Total counts all observations, including out-of-range ones (clamped
+	// into the edge bins).
+	Total int
+}
+
+// NewHistogram creates a histogram with n bins spanning [min, max].
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%v,%v] n=%d", min, max, n))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records an observation; out-of-range values land in the edge bins.
+func (h *Histogram) Add(v float64) {
+	i := int(float64(len(h.Counts)) * (v - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + w*(float64(i)+0.5)
+}
+
+// CDF returns the cumulative fraction of observations at or below the
+// upper edge of bin i.
+func (h *Histogram) CDF(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	c := 0
+	for j := 0; j <= i && j < len(h.Counts); j++ {
+		c += h.Counts[j]
+	}
+	return float64(c) / float64(h.Total)
+}
+
+// Sparkline renders the histogram as a one-line unicode bar chart, for
+// terminal output of Figure 4.
+func (h *Histogram) Sparkline() string {
+	const ramp = " ▁▂▃▄▅▆▇█"
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(h.Counts))
+	}
+	var b strings.Builder
+	for _, c := range h.Counts {
+		idx := c * (len([]rune(ramp)) - 1) / max
+		b.WriteRune([]rune(ramp)[idx])
+	}
+	return b.String()
+}
+
+// Summary holds basic summary statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P25, Median, P75 float64
+}
+
+// Summarize computes summary statistics (the input is not modified).
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	var sum, sumSq float64
+	for _, v := range s {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return Summary{
+		N: len(s), Mean: mean, Std: math.Sqrt(variance),
+		Min: s[0], Max: s[len(s)-1],
+		P25: q(0.25), Median: q(0.5), P75: q(0.75),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p25=%.3f med=%.3f p75=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.P25, s.Median, s.P75, s.Max)
+}
+
+// SampleDistances draws `pairs` random distinct pairs from items and
+// returns their distances — the estimator behind the paper's distance
+// distribution plots (Figure 4).
+func SampleDistances[T any](items []T, dist func(a, b T) float64, pairs int, seed uint64) []float64 {
+	if len(items) < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5a))
+	out := make([]float64, 0, pairs)
+	for len(out) < pairs {
+		i := rng.IntN(len(items))
+		j := rng.IntN(len(items))
+		if i == j {
+			continue
+		}
+		out = append(out, dist(items[i], items[j]))
+	}
+	return out
+}

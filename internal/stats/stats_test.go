@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{0.5, 1.5, 1.6, 9.9} {
+		h.Add(v)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total != 4 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if got := h.Fraction(1); got != 0.5 {
+		t.Errorf("Fraction(1) = %v", got)
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Errorf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 {
+		t.Errorf("edge clamping failed: %v", h.Counts)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Add(v)
+	}
+	for i, want := range []float64{0.25, 0.5, 0.75, 1} {
+		if got := h.CDF(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDF(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestHistogramInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestSparkline(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	line := []rune(h.Sparkline())
+	if len(line) != 3 {
+		t.Fatalf("sparkline length %d", len(line))
+	}
+	if line[2] != ' ' {
+		t.Errorf("empty bin should render as space, got %q", line[2])
+	}
+	if line[1] != '█' {
+		t.Errorf("fullest bin should render as full block, got %q", line[1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2)", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSampleDistances(t *testing.T) {
+	items := []float64{0, 1, 2, 3, 4}
+	d := func(a, b float64) float64 { return math.Abs(a - b) }
+	sample := SampleDistances(items, d, 100, 1)
+	if len(sample) != 100 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	for _, v := range sample {
+		if v <= 0 || v > 4 {
+			t.Errorf("impossible distance %v (identical pairs must be excluded)", v)
+		}
+	}
+	if got := SampleDistances(items[:1], d, 10, 1); got != nil {
+		t.Errorf("single item should yield nil, got %v", got)
+	}
+	// Determinism.
+	s2 := SampleDistances(items, d, 100, 1)
+	for i := range sample {
+		if sample[i] != s2[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}

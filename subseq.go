@@ -1,0 +1,254 @@
+// Package subseq is a generic framework for efficient and effective
+// subsequence retrieval in string and time-series databases, reproducing
+//
+//	Haohan Zhu, George Kollios, Vassilis Athitsos.
+//	"A Generic Framework for Efficient and Effective Subsequence
+//	Retrieval." PVLDB 5(11), 2012.
+//
+// Given a database of sequences and a query sequence Q, the framework
+// finds pairs of similar subsequences (SQ ⊆ Q, SX ⊆ X) under any distance
+// measure that is "consistent" (Definition 1 of the paper) — Euclidean,
+// Hamming, DTW, ERP, the discrete Fréchet distance and the Levenshtein
+// distance all qualify — using metric indexing (the paper's Reference Net)
+// when the distance is additionally a metric.
+//
+// # Quick start
+//
+//	m := subseq.LevenshteinMeasure[byte]()
+//	matcher, err := subseq.NewMatcher(m, subseq.Config{
+//	    Params: subseq.Params{Lambda: 40, Lambda0: 2},
+//	}, db) // db is a []subseq.Sequence[byte]
+//	...
+//	match, ok := matcher.Longest(query, 4) // longest pair within distance 4
+//
+// Three query types are supported (Section 3.2 of the paper): FindAll
+// (Type I, all similar pairs), Longest (Type II) and Nearest (Type III).
+//
+// # Packages
+//
+// The implementation lives in internal packages; this package is the
+// stable public surface. The Reference Net is additionally exposed
+// directly (NewRefNet) because it is a useful general-purpose metric index
+// independent of subsequence retrieval.
+package subseq
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/covertree"
+	"repro/internal/dist"
+	"repro/internal/metric"
+	"repro/internal/refindex"
+	"repro/internal/refnet"
+	"repro/internal/seq"
+)
+
+// Sequence is an ordered series of elements over an arbitrary alphabet.
+type Sequence[E any] = seq.Sequence[E]
+
+// Window is a fixed-length database window (the indexed unit).
+type Window[E any] = seq.Window[E]
+
+// Segment is a variable-length query segment.
+type Segment[E any] = seq.Segment[E]
+
+// Point2 is a point in the plane, the element type for trajectories.
+type Point2 = seq.Point2
+
+// Ground is a distance between two sequence elements.
+type Ground[E any] = dist.Ground[E]
+
+// DistanceFunc is a distance between two sequences.
+type DistanceFunc[E any] = dist.Func[E]
+
+// Measure bundles a distance function with its name and properties
+// (metricity, consistency, lock-step).
+type Measure[E any] = dist.Measure[E]
+
+// Properties describes the assumptions a distance measure satisfies.
+type Properties = dist.Properties
+
+// Coupling is one element pairing in an optimal alignment.
+type Coupling = dist.Coupling
+
+// Params carries the framework parameters λ (minimum match length) and λ0
+// (maximum temporal shift).
+type Params = core.Params
+
+// Config configures a Matcher (parameters, index backend, ǫ′, nummax).
+type Config = core.Config
+
+// IndexKind selects the metric-index backend for the window filter.
+type IndexKind = core.IndexKind
+
+// Index backends.
+const (
+	IndexRefNet     = core.IndexRefNet
+	IndexCoverTree  = core.IndexCoverTree
+	IndexMV         = core.IndexMV
+	IndexLinearScan = core.IndexLinearScan
+)
+
+// Matcher is the subsequence-retrieval engine (steps 1–5 of the paper's
+// framework).
+type Matcher[E any] = core.Matcher[E]
+
+// Match is a reported pair of similar subsequences.
+type Match = core.Match
+
+// Hit is a filtered segment↔window pair (steps 3–4 output).
+type Hit[E any] = core.Hit[E]
+
+// NearestOptions tunes Nearest (query Type III).
+type NearestOptions = core.NearestOptions
+
+// BruteForce answers the three query types exhaustively; it is the
+// correctness oracle and the baseline the framework's filtering replaces.
+type BruteForce[E any] = core.BruteForce[E]
+
+// NewMatcher builds a matcher over db: it validates the configuration,
+// partitions the database into windows of length λ/2 and builds the
+// window index.
+func NewMatcher[E any](m Measure[E], cfg Config, db []Sequence[E]) (*Matcher[E], error) {
+	return core.NewMatcher(m, cfg, db)
+}
+
+// NewBruteForce builds an exhaustive matcher with the same semantics.
+func NewBruteForce[E any](m Measure[E], p Params, db []Sequence[E]) (*BruteForce[E], error) {
+	return core.NewBruteForce(m, p, db)
+}
+
+// Distance measures. Each *Measure constructor returns the function
+// bundled with its properties; the bare constructors return just the
+// function.
+
+// EuclideanMeasure is the L2 distance over equal-length sequences.
+func EuclideanMeasure[E any](g Ground[E]) Measure[E] { return dist.EuclideanMeasure(g) }
+
+// HammingMeasure counts positions at which equal-length sequences differ.
+func HammingMeasure[E comparable]() Measure[E] { return dist.HammingMeasure[E]() }
+
+// DTWMeasure is Dynamic Time Warping (consistent but not a metric; only
+// the IndexLinearScan backend accepts it).
+func DTWMeasure[E any](g Ground[E]) Measure[E] { return dist.DTWMeasure(g) }
+
+// ERPMeasure is Edit distance with Real Penalty, a consistent metric.
+func ERPMeasure[E any](g Ground[E], gap E) Measure[E] { return dist.ERPMeasure(g, gap) }
+
+// DiscreteFrechetMeasure is the discrete Fréchet distance, a consistent
+// metric.
+func DiscreteFrechetMeasure[E any](g Ground[E]) Measure[E] { return dist.DiscreteFrechetMeasure(g) }
+
+// LevenshteinMeasure is the unit-cost edit distance over any comparable
+// alphabet.
+func LevenshteinMeasure[E comparable]() Measure[E] { return dist.LevenshteinMeasure[E]() }
+
+// LevenshteinFastMeasure is the byte-string edit distance using Myers'
+// bit-parallel algorithm (identical semantics, much faster for strings up
+// to 64 characters).
+func LevenshteinFastMeasure() Measure[byte] { return dist.LevenshteinFastMeasure() }
+
+// WeightedEdit is a generalised edit distance with caller-supplied
+// substitution and indel costs.
+func WeightedEdit[E any](sub func(a, b E) float64, indel func(E) float64) DistanceFunc[E] {
+	return dist.WeightedEdit(sub, indel)
+}
+
+// ProteinEditMeasure is a weighted edit distance over amino-acid strings
+// with physico-chemical substitution costs — a metric, index-compatible
+// stand-in for biological scoring schemes.
+func ProteinEditMeasure() Measure[byte] { return dist.ProteinEditMeasure() }
+
+// Ground distances.
+
+// AbsDiff is |a−b| for scalar series.
+func AbsDiff(a, b float64) float64 { return dist.AbsDiff(a, b) }
+
+// Point2Dist is the planar Euclidean ground distance.
+func Point2Dist(a, b Point2) float64 { return dist.Point2Dist(a, b) }
+
+// Alignment recovery.
+
+// DTWAlignment returns the DTW distance and an optimal alignment.
+func DTWAlignment[E any](g Ground[E], a, b []E) (float64, []Coupling) {
+	return dist.DTWAlignment(g, a, b)
+}
+
+// FrechetAlignment returns the discrete Fréchet distance and an optimal
+// alignment.
+func FrechetAlignment[E any](g Ground[E], a, b []E) (float64, []Coupling) {
+	return dist.FrechetAlignment(g, a, b)
+}
+
+// ERPAlignment returns the ERP distance and an optimal alignment
+// including gap couplings.
+func ERPAlignment[E any](g Ground[E], gap E, a, b []E) (float64, []Coupling) {
+	return dist.ERPAlignment(g, gap, a, b)
+}
+
+// ConsistentOn checks the paper's consistency property (Definition 1)
+// exhaustively on the pair (q, x); see dist.FindInconsistency for the
+// witness-returning variant.
+func ConsistentOn[E any](d DistanceFunc[E], q, x []E, tol float64) bool {
+	return dist.ConsistentOn(d, q, x, tol)
+}
+
+// The Reference Net, exposed as a general-purpose metric index.
+
+// RefNet is the paper's linear-space hierarchical metric index.
+type RefNet[T any] = refnet.Net[T]
+
+// RefNetNode is a handle to an inserted item, accepted by Delete.
+type RefNetNode[T any] = refnet.Node[T]
+
+// RefNetStats summarises a net's structure and space.
+type RefNetStats = refnet.Stats
+
+// Neighbor is one k-nearest-neighbour result from RefNet.KNN.
+type Neighbor[T any] = refnet.Neighbor[T]
+
+// NewRefNet returns an empty reference net over the given metric distance.
+// Options: WithBase (ǫ′), WithMaxParents (nummax).
+func NewRefNet[T any](d func(a, b T) float64, opts ...refnet.Option) *RefNet[T] {
+	return refnet.New(metric.DistFunc[T](d), opts...)
+}
+
+// LoadRefNet reads a net previously written with RefNet.Save, re-attaching
+// the distance function. Loading performs no distance computations.
+func LoadRefNet[T any](r io.Reader, d func(a, b T) float64) (*RefNet[T], error) {
+	return refnet.Load(r, d)
+}
+
+// WithBase sets the net's base radius ǫ′ (default 1).
+func WithBase(base float64) refnet.Option { return refnet.WithBase(base) }
+
+// WithMaxParents caps the number of lists a node may appear in (nummax).
+func WithMaxParents(n int) refnet.Option { return refnet.WithMaxParents(n) }
+
+// CoverTree is the single-parent baseline index.
+type CoverTree[T any] = covertree.Tree[T]
+
+// NewCoverTree returns an empty cover tree with base radius ǫ′.
+func NewCoverTree[T any](d func(a, b T) float64, base float64) *CoverTree[T] {
+	return covertree.New(metric.DistFunc[T](d), base)
+}
+
+// MVIndex is the reference-based baseline index with Maximum-Variance
+// reference selection.
+type MVIndex[T any] = refindex.Index[T]
+
+// NewMVIndex builds a reference-based index with k references.
+func NewMVIndex[T any](items []T, k int, d func(a, b T) float64) (*MVIndex[T], error) {
+	return refindex.Build(items, k, metric.DistFunc[T](d), refindex.Options{})
+}
+
+// Partition splits a sequence into consecutive windows of length l.
+func Partition[E any](seqID int, x Sequence[E], l int) []Window[E] {
+	return seq.Partition(seqID, x, l)
+}
+
+// Segments extracts every segment of q with length in [minLen, maxLen].
+func Segments[E any](q Sequence[E], minLen, maxLen int) []Segment[E] {
+	return seq.Segments(q, minLen, maxLen)
+}

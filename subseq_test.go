@@ -1,0 +1,131 @@
+package subseq_test
+
+import (
+	"testing"
+
+	subseq "repro"
+)
+
+// The root package is a facade; these tests pin its public surface and
+// exercise one end-to-end path per feature area. Algorithmic depth is
+// tested in the internal packages.
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("AAAABBBBCCCCDDDDEEEEFFFF"),
+		subseq.Sequence[byte]("XXXXCCCCDDDDEEEEYYYYZZZZ"),
+	}
+	q := subseq.Sequence[byte]("PPPPCCCCDDDDEEEEQQQQ")
+	mt, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := mt.Longest(q, 0)
+	if !ok {
+		t.Fatal("no match for shared run")
+	}
+	if got := string(q[m.QStart:m.QEnd]); got != string(db[m.SeqID][m.XStart:m.XEnd]) {
+		t.Errorf("exact match differs: %q vs %q", got, db[m.SeqID][m.XStart:m.XEnd])
+	}
+	if m.QLen() < 12 {
+		t.Errorf("longest exact match %d, want ≥ 12 (CCCCDDDDEEEE)", m.QLen())
+	}
+
+	if _, ok := mt.Nearest(q, subseq.NearestOptions{EpsMax: 8, EpsInc: 1}); !ok {
+		t.Error("nearest found nothing")
+	}
+	if all := mt.FindAll(q, 0); len(all) == 0 {
+		t.Error("FindAll found nothing at eps=0")
+	}
+
+	oracle, err := subseq.NewBruteForce(subseq.LevenshteinMeasure[byte](),
+		subseq.Params{Lambda: 8, Lambda0: 1}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om, ok := oracle.Longest(q, 0); !ok || om.QLen() != m.QLen() {
+		t.Errorf("oracle longest %v vs framework %v", om, m)
+	}
+}
+
+func TestPublicRefNet(t *testing.T) {
+	net := subseq.NewRefNet(subseq.AbsDiff, subseq.WithBase(0.5), subseq.WithMaxParents(3))
+	for i := 0; i < 200; i++ {
+		net.Insert(float64(i % 50))
+	}
+	if net.Len() != 200 {
+		t.Errorf("Len = %d", net.Len())
+	}
+	got := net.Range(10, 1.5)
+	want := 0
+	for i := 0; i < 200; i++ {
+		if v := float64(i % 50); v >= 8.5 && v <= 11.5 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("Range returned %d items, want %d", len(got), want)
+	}
+	if err := net.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicDistances(t *testing.T) {
+	if d := subseq.LevenshteinFastMeasure().Fn([]byte("kitten"), []byte("sitting")); d != 3 {
+		t.Errorf("LevenshteinFast = %v", d)
+	}
+	erp := subseq.ERPMeasure(subseq.AbsDiff, 0)
+	if !erp.Props.Metric || !erp.Props.Consistent {
+		t.Error("ERP properties wrong")
+	}
+	dtw := subseq.DTWMeasure(subseq.AbsDiff)
+	if dtw.Props.Metric {
+		t.Error("DTW must not be flagged metric")
+	}
+	v, al := subseq.ERPAlignment(subseq.AbsDiff, 0, []float64{1, 2, 3}, []float64{1, 3})
+	if v != 2 || len(al) != 3 {
+		t.Errorf("ERPAlignment = %v %v", v, al)
+	}
+	if !subseq.ConsistentOn(subseq.DiscreteFrechetMeasure(subseq.AbsDiff).Fn,
+		[]float64{1, 2, 3, 4}, []float64{2, 2, 4, 4}, 1e-9) {
+		t.Error("DFD inconsistent on a small pair")
+	}
+}
+
+func TestPublicPartitionAndSegments(t *testing.T) {
+	x := subseq.Sequence[int]{1, 2, 3, 4, 5, 6, 7}
+	wins := subseq.Partition(0, x, 3)
+	if len(wins) != 2 {
+		t.Errorf("Partition → %d windows", len(wins))
+	}
+	segs := subseq.Segments(x, 2, 3)
+	if len(segs) != 11 {
+		t.Errorf("Segments → %d", len(segs))
+	}
+}
+
+func TestPublicCoverTreeAndMV(t *testing.T) {
+	items := make([]float64, 100)
+	for i := range items {
+		items[i] = float64(i)
+	}
+	ct := subseq.NewCoverTree(subseq.AbsDiff, 1)
+	for _, v := range items {
+		ct.Insert(v)
+	}
+	if got := ct.Range(50, 2); len(got) != 5 {
+		t.Errorf("cover tree Range → %d items, want 5", len(got))
+	}
+	mv, err := subseq.NewMVIndex(items, 4, subseq.AbsDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mv.Range(50, 2); len(got) != 5 {
+		t.Errorf("MV Range → %d items, want 5", len(got))
+	}
+}
