@@ -1,0 +1,31 @@
+# Development targets; `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: all build test test-short bench fmt fmt-fix vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test

@@ -1,0 +1,111 @@
+// Package dist is the framework's distance-measure API: the capability-typed
+// contract every other layer compiles against.
+//
+// The paper's central claim (Section 3) is genericity — one filter-and-verify
+// framework that works for any distance measure satisfying the consistency
+// property of Definition 1, and that gains metric indexing for free when the
+// measure is additionally a metric. This package encodes that claim as types:
+//
+//   - Func is a distance between two sequences, Ground a distance between two
+//     sequence elements;
+//   - Properties is the capability record — Consistent, Metric, LockStep —
+//     stating which assumptions a measure satisfies;
+//   - Measure bundles a Func with its name and Properties, so downstream code
+//     (core.NewMatcher in particular) can reject unsound measure/backend
+//     pairings at construction time instead of silently returning wrong
+//     answers: a non-consistent measure breaks the filter's losslessness
+//     (Lemma 2), a non-metric measure breaks index pruning (Section 3.3), and
+//     a lock-step measure admits no temporal shift (λ0 must be 0).
+//
+// Each supported measure comes in two flavours: a *Measure constructor
+// returning the function bundled with its vetted properties (EuclideanMeasure,
+// HammingMeasure, DTWMeasure, ERPMeasure, DiscreteFrechetMeasure,
+// LevenshteinMeasure, LevenshteinFastMeasure, ProteinEditMeasure), and a bare
+// constructor returning just the function (DTW, ERP, DiscreteFrechet,
+// Levenshtein, LevenshteinBytes, LevenshteinFast, WeightedEdit) for callers
+// that do their own bookkeeping. Claimed properties are enforced by the
+// package's property-based tests: metric axioms on random inputs for every
+// measure whose Props.Metric is true, and Definition-1 consistency via
+// FindInconsistency for every measure whose Props.Consistent is true.
+//
+// All distance functions in this package accept empty slices without
+// panicking. Lock-step distances return +Inf for length-mismatched inputs,
+// which composes safely with both the filter (an infinite distance never
+// falls within a query radius) and the consistency checker.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/seq"
+)
+
+// Ground is a distance between two sequence elements — the per-element cost
+// that the warping distances (DTW, ERP, discrete Fréchet) and Euclidean
+// aggregate over a pair of sequences. Index pruning and the Metric property
+// of the aggregated measures require the ground distance itself to be a
+// metric on the element type.
+type Ground[E any] func(a, b E) float64
+
+// Func is a distance between two sequences over alphabet E. The framework
+// evaluates it on database windows, query segments and candidate
+// subsequences; implementations must be safe for concurrent use (pure
+// functions of their inputs).
+type Func[E any] func(a, b []E) float64
+
+// Properties is the capability record of a distance measure: the assumptions
+// it satisfies, which determine the framework configurations it can soundly
+// drive (core.validateMeasure consults exactly these three bits).
+type Properties struct {
+	// Consistent reports that the measure satisfies Definition 1 of the
+	// paper: for any sequences Q and X and any subsequence SX of X there is
+	// a (possibly empty) subsequence SQ of Q with δ(SQ, SX) ≤ δ(Q, X).
+	// Consistency is what makes the window filter lossless (Lemma 2); the
+	// framework rejects measures without it.
+	Consistent bool
+	// Metric reports that the measure is non-negative, symmetric, zero on
+	// identical sequences and obeys the triangle inequality. Only metric
+	// measures may drive the metric-index backends (reference net, cover
+	// tree, MV); consistent-but-non-metric measures (DTW) are confined to
+	// the linear-scan filter.
+	Metric bool
+	// LockStep reports that the measure compares sequences element by
+	// element and is defined only for equal lengths (Euclidean, Hamming).
+	// Lock-step measures admit no temporal shift, so they require λ0 = 0.
+	LockStep bool
+}
+
+// Measure bundles a distance function with its name and properties. The
+// fields are exported so callers can assemble custom measures; the
+// constructors in this package return measures whose Props have been vetted
+// by the package's property-based tests.
+type Measure[E any] struct {
+	// Name identifies the measure in diagnostics and error messages.
+	Name string
+	// Fn is the distance function.
+	Fn Func[E]
+	// Props records the assumptions Fn satisfies.
+	Props Properties
+}
+
+// Coupling is one element pairing in an optimal alignment, as recovered by
+// DTWAlignment, FrechetAlignment and ERPAlignment: element I of the first
+// sequence is aligned with element J of the second. In ERP alignments an
+// index of Gap (-1) marks the element on the other side as aligned with the
+// gap element.
+type Coupling struct {
+	I, J int
+}
+
+// Gap is the Coupling index marking an ERP gap alignment.
+const Gap = -1
+
+// AbsDiff is |a−b|, the ground distance for scalar series (SONGS pitch
+// classes, univariate time series).
+func AbsDiff(a, b float64) float64 { return math.Abs(a - b) }
+
+// Point2Dist is the planar Euclidean ground distance, used for trajectory
+// sequences (the TRAJ dataset).
+func Point2Dist(a, b seq.Point2) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}

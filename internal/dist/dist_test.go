@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestGroundDistances(t *testing.T) {
+	if d := AbsDiff(3, 7.5); d != 4.5 {
+		t.Errorf("AbsDiff(3,7.5) = %v", d)
+	}
+	if d := AbsDiff(7.5, 3); d != 4.5 {
+		t.Errorf("AbsDiff not symmetric: %v", d)
+	}
+	if d := Point2Dist(seq.Point2{X: 0, Y: 0}, seq.Point2{X: 3, Y: 4}); d != 5 {
+		t.Errorf("Point2Dist = %v, want 5", d)
+	}
+	if d := Point2Dist(seq.Point2{X: 1, Y: 1}, seq.Point2{X: 1, Y: 1}); d != 0 {
+		t.Errorf("Point2Dist identity = %v", d)
+	}
+}
+
+// Every constructor must stamp the documented capability bits; the framework
+// trusts Props to reject unsound configurations, so these are contract, not
+// implementation detail.
+func TestMeasureProperties(t *testing.T) {
+	cases := []struct {
+		name  string
+		props Properties
+		want  Properties
+	}{
+		{"euclidean", EuclideanMeasure(AbsDiff).Props, Properties{Consistent: true, Metric: true, LockStep: true}},
+		{"hamming", HammingMeasure[byte]().Props, Properties{Consistent: true, Metric: true, LockStep: true}},
+		{"dtw", DTWMeasure(AbsDiff).Props, Properties{Consistent: true, Metric: false, LockStep: false}},
+		{"erp", ERPMeasure(AbsDiff, 0).Props, Properties{Consistent: true, Metric: true, LockStep: false}},
+		{"dfd", DiscreteFrechetMeasure(AbsDiff).Props, Properties{Consistent: true, Metric: true, LockStep: false}},
+		{"levenshtein", LevenshteinMeasure[byte]().Props, Properties{Consistent: true, Metric: true, LockStep: false}},
+		{"levenshtein-fast", LevenshteinFastMeasure().Props, Properties{Consistent: true, Metric: true, LockStep: false}},
+		{"protein-edit", ProteinEditMeasure().Props, Properties{Consistent: true, Metric: true, LockStep: false}},
+	}
+	for _, c := range cases {
+		if c.props != c.want {
+			t.Errorf("%s: Props = %+v, want %+v", c.name, c.props, c.want)
+		}
+	}
+}
+
+func TestMeasureNames(t *testing.T) {
+	for _, m := range []Measure[byte]{
+		HammingMeasure[byte](), LevenshteinMeasure[byte](), LevenshteinFastMeasure(), ProteinEditMeasure(),
+	} {
+		if m.Name == "" {
+			t.Error("measure with empty name")
+		}
+		if m.Fn == nil {
+			t.Errorf("%s: nil Fn", m.Name)
+		}
+	}
+}
+
+func TestLockStepDistances(t *testing.T) {
+	eu := Euclidean(AbsDiff)
+	if d := eu([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("Euclidean = %v, want 5", d)
+	}
+	if d := eu([]float64{1, 2}, []float64{1, 2, 3}); !math.IsInf(d, 1) {
+		t.Errorf("Euclidean on mismatched lengths = %v, want +Inf", d)
+	}
+	if d := eu(nil, nil); d != 0 {
+		t.Errorf("Euclidean on empty = %v", d)
+	}
+
+	if d := Hamming([]byte("karolin"), []byte("kathrin")); d != 3 {
+		t.Errorf("Hamming = %v, want 3", d)
+	}
+	if d := Hamming([]byte("ab"), []byte("abc")); !math.IsInf(d, 1) {
+		t.Errorf("Hamming on mismatched lengths = %v, want +Inf", d)
+	}
+}

@@ -1,0 +1,63 @@
+package dist
+
+import "math"
+
+// Lock-step distances compare sequences element by element: the i-th element
+// of one sequence is paired with the i-th element of the other, with no
+// warping and no gaps. They are defined only for equal lengths; on a length
+// mismatch they return +Inf, which is safe everywhere in the framework (an
+// infinite distance is never within a query radius). The framework enforces
+// λ0 = 0 for lock-step measures, so all comparisons it issues are
+// equal-length.
+
+// Euclidean is the L2 distance over equal-length sequences under ground
+// distance g: sqrt(Σ g(aᵢ,bᵢ)²). It is a metric whenever g is (Minkowski's
+// inequality), and consistent because a subsequence's sum of squares is a
+// subset of the whole.
+func Euclidean[E any](g Ground[E]) Func[E] {
+	return func(a, b []E) float64 {
+		if len(a) != len(b) {
+			return math.Inf(1)
+		}
+		var sum float64
+		for i := range a {
+			d := g(a[i], b[i])
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+}
+
+// EuclideanMeasure is Euclidean bundled with its properties: a consistent
+// lock-step metric.
+func EuclideanMeasure[E any](g Ground[E]) Measure[E] {
+	return Measure[E]{
+		Name:  "euclidean",
+		Fn:    Euclidean(g),
+		Props: Properties{Consistent: true, Metric: true, LockStep: true},
+	}
+}
+
+// Hamming counts the positions at which two equal-length sequences differ.
+func Hamming[E comparable](a, b []E) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// HammingMeasure is Hamming bundled with its properties: a consistent
+// lock-step metric.
+func HammingMeasure[E comparable]() Measure[E] {
+	return Measure[E]{
+		Name:  "hamming",
+		Fn:    Hamming[E],
+		Props: Properties{Consistent: true, Metric: true, LockStep: true},
+	}
+}

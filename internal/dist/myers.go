@@ -1,0 +1,66 @@
+package dist
+
+// LevenshteinFast computes the byte-string edit distance with Myers'
+// bit-parallel algorithm (Myers, JACM 1999): the DP column is packed into a
+// 64-bit word as vertical delta bit-vectors, advancing a whole column per
+// text character in a handful of word operations. Semantics are identical to
+// LevenshteinBytes / Levenshtein[byte](); the bit-parallel path applies when
+// the shorter string fits a machine word (≤ 64 bytes — every window the
+// framework compares qualifies, the paper uses l = 20), with a transparent
+// fallback to the byte DP beyond that.
+func LevenshteinFast(a, b []byte) float64 {
+	// The pattern (bit-packed side) is the shorter string.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return float64(len(b))
+	}
+	if len(a) > 64 {
+		return LevenshteinBytes(a, b)
+	}
+	return float64(myers64(a, b))
+}
+
+// myers64 runs the bit-parallel recurrence with pattern a (1 ≤ len(a) ≤ 64)
+// against text b. Pv/Mv hold the positive/negative vertical deltas of the
+// current DP column; each text character updates them via the Eq mask and
+// the horizontal deltas Ph/Mh. The score tracks the bottom DP cell, starting
+// at len(a) (the distance against the empty text).
+func myers64(a, b []byte) int {
+	var peq [256]uint64
+	for i, c := range a {
+		peq[c] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := len(a)
+	last := uint64(1) << uint(len(a)-1)
+	for _, c := range b {
+		eq := peq[c]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+	}
+	return score
+}
+
+// LevenshteinFastMeasure is LevenshteinFast bundled with the Levenshtein
+// properties (same function, faster evaluation): a consistent metric.
+func LevenshteinFastMeasure() Measure[byte] {
+	return Measure[byte]{
+		Name:  "levenshtein-fast",
+		Fn:    LevenshteinFast,
+		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+	}
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// LevenshteinFast must agree exactly with the plain DP on 1000 random
+// byte-string pairs, with lengths concentrated around the 64-character
+// machine-word boundary where the bit-parallel path hands over to the
+// fallback. This is the cross-check mandated for Myers' algorithm: the two
+// implementations share no code on the ≤64 path.
+func TestLevenshteinFastMatchesPlainOn1000Pairs(t *testing.T) {
+	lev := Levenshtein[byte]()
+	rng := rand.New(rand.NewPCG(64, 64))
+	randLen := func() int {
+		switch rng.IntN(4) {
+		case 0: // the word-boundary band
+			return 62 + rng.IntN(6) // 62..67
+		case 1: // short strings
+			return rng.IntN(8)
+		default: // general case
+			return rng.IntN(80)
+		}
+	}
+	alphabets := []string{"AB", "ACDEFGHIKLMNPQRSTVWY", "abcdefghijklmnopqrstuvwxyz0123456789"}
+	for trial := 0; trial < 1000; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		a := randBytes(rng, randLen(), alpha)
+		b := randBytes(rng, randLen(), alpha)
+		want := lev(a, b)
+		if got := LevenshteinFast(a, b); got != want {
+			t.Fatalf("trial %d: LevenshteinFast(%q,%q) = %v, plain = %v", trial, a, b, got, want)
+		}
+		if got := LevenshteinBytes(a, b); got != want {
+			t.Fatalf("trial %d: LevenshteinBytes(%q,%q) = %v, plain = %v", trial, a, b, got, want)
+		}
+	}
+}
+
+// Pin the exact word-boundary lengths: equal strings, one-edit strings and
+// disjoint strings at pattern lengths 63, 64 and 65.
+func TestLevenshteinFastWordBoundary(t *testing.T) {
+	for _, m := range []int{63, 64, 65} {
+		a := make([]byte, m)
+		for i := range a {
+			a[i] = 'A' + byte(i%4)
+		}
+		b := append([]byte(nil), a...)
+		if d := LevenshteinFast(a, b); d != 0 {
+			t.Errorf("m=%d: identical strings = %v", m, d)
+		}
+		b[m/2] = 'Z'
+		if d := LevenshteinFast(a, b); d != 1 {
+			t.Errorf("m=%d: one substitution = %v", m, d)
+		}
+		if d := LevenshteinFast(a, b[:m-1]); d != 2 {
+			t.Errorf("m=%d: one substitution + one deletion = %v", m, d)
+		}
+		z := make([]byte, m)
+		for i := range z {
+			z[i] = 'z'
+		}
+		if d := LevenshteinFast(a, z); d != float64(m) {
+			t.Errorf("m=%d: disjoint strings = %v, want %v", m, d, m)
+		}
+	}
+}
+
+// The bit-parallel path must be order-insensitive (the implementation swaps
+// so the pattern is the shorter side).
+func TestLevenshteinFastSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(65, 65))
+	for trial := 0; trial < 100; trial++ {
+		a := randBytes(rng, rng.IntN(70), "ABC")
+		b := randBytes(rng, rng.IntN(70), "ABC")
+		if ab, ba := LevenshteinFast(a, b), LevenshteinFast(b, a); ab != ba {
+			t.Fatalf("asymmetric: d(a,b)=%v d(b,a)=%v", ab, ba)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestDTWValues(t *testing.T) {
+	dtw := DTW(AbsDiff)
+	if d := dtw([]float64{1, 2, 3}, []float64{1, 2, 3}); d != 0 {
+		t.Errorf("DTW identical = %v", d)
+	}
+	// Warping absorbs repeats at no cost.
+	if d := dtw([]float64{1, 2}, []float64{1, 2, 2, 2}); d != 0 {
+		t.Errorf("DTW repeat warp = %v, want 0", d)
+	}
+	if d := dtw([]float64{0}, []float64{5}); d != 5 {
+		t.Errorf("DTW singletons = %v", d)
+	}
+	if d := dtw(nil, nil); d != 0 {
+		t.Errorf("DTW empty/empty = %v", d)
+	}
+	if d := dtw(nil, []float64{1}); !math.IsInf(d, 1) {
+		t.Errorf("DTW empty/nonempty = %v, want +Inf", d)
+	}
+	// The textbook triangle-inequality violation that bars DTW from metric
+	// indexes: warping lets both d(a,b) and d(b,c) collapse while d(a,c)
+	// stays large.
+	a, b, c := []float64{0, 0, 0}, []float64{0, 4, 0}, []float64{0, 4, 4, 0}
+	if dtw(a, c) > dtw(a, b)+dtw(b, c) {
+		t.Logf("DTW violates triangle: d(a,c)=%v > %v+%v — as documented",
+			dtw(a, c), dtw(a, b), dtw(b, c))
+	}
+}
+
+func TestERPValues(t *testing.T) {
+	erp := ERP(AbsDiff, 0)
+	if d := erp([]float64{1, 2, 3}, []float64{1, 3}); d != 2 {
+		t.Errorf("ERP = %v, want 2 (gap the 2)", d)
+	}
+	if d := erp(nil, []float64{3, 4}); d != 7 {
+		t.Errorf("ERP empty vs [3,4] = %v, want 7 (total gap cost)", d)
+	}
+	if d := erp(nil, nil); d != 0 {
+		t.Errorf("ERP empty/empty = %v", d)
+	}
+	if d := erp([]float64{1, 2}, []float64{1, 2}); d != 0 {
+		t.Errorf("ERP identical = %v", d)
+	}
+}
+
+func TestDiscreteFrechetValues(t *testing.T) {
+	dfd := DiscreteFrechet(AbsDiff)
+	if d := dfd([]float64{1, 2, 3, 4}, []float64{2, 2, 4, 4}); d != 1 {
+		t.Errorf("DFD = %v, want 1", d)
+	}
+	// Max aggregation: one far-away element dominates.
+	if d := dfd([]float64{0, 0, 100, 0}, []float64{0, 0, 0}); d != 100 {
+		t.Errorf("DFD = %v, want 100", d)
+	}
+	if d := dfd(nil, nil); d != 0 {
+		t.Errorf("DFD empty/empty = %v", d)
+	}
+	if d := dfd([]float64{1}, nil); !math.IsInf(d, 1) {
+		t.Errorf("DFD nonempty/empty = %v, want +Inf", d)
+	}
+}
+
+// checkMonotone verifies a warping alignment's structural invariants: it
+// starts at (0,0), ends at (n-1,m-1) and advances each index by 0 or 1 per
+// step (never both by 0).
+func checkMonotone(t *testing.T, al []Coupling, n, m int) {
+	t.Helper()
+	if len(al) == 0 {
+		t.Fatal("empty alignment")
+	}
+	if al[0] != (Coupling{0, 0}) {
+		t.Fatalf("alignment starts at %v", al[0])
+	}
+	if last := al[len(al)-1]; last != (Coupling{n - 1, m - 1}) {
+		t.Fatalf("alignment ends at %v, want (%d,%d)", last, n-1, m-1)
+	}
+	for k := 1; k < len(al); k++ {
+		di, dj := al[k].I-al[k-1].I, al[k].J-al[k-1].J
+		if di < 0 || di > 1 || dj < 0 || dj > 1 || (di == 0 && dj == 0) {
+			t.Fatalf("non-monotone step %v -> %v", al[k-1], al[k])
+		}
+	}
+}
+
+func randWalk(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	v := 0.0
+	for i := range s {
+		v += rng.Float64()*2 - 1
+		s[i] = v
+	}
+	return s
+}
+
+func TestDTWAlignmentAgreesWithDistance(t *testing.T) {
+	dtw := DTW(AbsDiff)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 50; trial++ {
+		a := randWalk(rng, 1+rng.IntN(8))
+		b := randWalk(rng, 1+rng.IntN(8))
+		v, al := DTWAlignment(AbsDiff, a, b)
+		if want := dtw(a, b); math.Abs(v-want) > 1e-9 {
+			t.Fatalf("trial %d: alignment value %v, distance %v", trial, v, want)
+		}
+		checkMonotone(t, al, len(a), len(b))
+		var sum float64
+		for _, c := range al {
+			sum += AbsDiff(a[c.I], b[c.J])
+		}
+		if math.Abs(sum-v) > 1e-9 {
+			t.Fatalf("trial %d: coupling costs sum to %v, value %v", trial, sum, v)
+		}
+	}
+}
+
+func TestFrechetAlignmentAgreesWithDistance(t *testing.T) {
+	dfd := DiscreteFrechet(Point2Dist)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 50; trial++ {
+		a := make([]seq.Point2, 1+rng.IntN(8))
+		b := make([]seq.Point2, 1+rng.IntN(8))
+		for i := range a {
+			a[i] = seq.Point2{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		for i := range b {
+			b[i] = seq.Point2{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		v, al := FrechetAlignment(Point2Dist, a, b)
+		if want := dfd(a, b); math.Abs(v-want) > 1e-9 {
+			t.Fatalf("trial %d: alignment value %v, distance %v", trial, v, want)
+		}
+		checkMonotone(t, al, len(a), len(b))
+		maxG := 0.0
+		for _, c := range al {
+			if d := Point2Dist(a[c.I], b[c.J]); d > maxG {
+				maxG = d
+			}
+		}
+		if math.Abs(maxG-v) > 1e-9 {
+			t.Fatalf("trial %d: coupling max %v, value %v", trial, maxG, v)
+		}
+	}
+}
+
+func TestERPAlignmentAgreesWithDistance(t *testing.T) {
+	erp := ERP(AbsDiff, 0)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 50; trial++ {
+		a := randWalk(rng, rng.IntN(8))
+		b := randWalk(rng, rng.IntN(8))
+		v, al := ERPAlignment(AbsDiff, 0, a, b)
+		if want := erp(a, b); math.Abs(v-want) > 1e-9 {
+			t.Fatalf("trial %d: alignment value %v, distance %v", trial, v, want)
+		}
+		// Every element of each side appears exactly once, in order.
+		var sum float64
+		ai, bi := 0, 0
+		for _, c := range al {
+			switch {
+			case c.I != Gap && c.J != Gap:
+				sum += AbsDiff(a[c.I], b[c.J])
+			case c.I != Gap:
+				sum += AbsDiff(a[c.I], 0)
+			case c.J != Gap:
+				sum += AbsDiff(b[c.J], 0)
+			default:
+				t.Fatal("coupling with two gaps")
+			}
+			if c.I != Gap {
+				if c.I != ai {
+					t.Fatalf("trial %d: a index %d out of order (want %d)", trial, c.I, ai)
+				}
+				ai++
+			}
+			if c.J != Gap {
+				if c.J != bi {
+					t.Fatalf("trial %d: b index %d out of order (want %d)", trial, c.J, bi)
+				}
+				bi++
+			}
+		}
+		if ai != len(a) || bi != len(b) {
+			t.Fatalf("trial %d: alignment covers %d/%d and %d/%d elements",
+				trial, ai, len(a), bi, len(b))
+		}
+		if math.Abs(sum-v) > 1e-9 {
+			t.Fatalf("trial %d: coupling costs sum to %v, value %v", trial, sum, v)
+		}
+	}
+}
+
+// The pinned example from the public API tests: distance 2, three couplings
+// (one of them a gap).
+func TestERPAlignmentPinnedExample(t *testing.T) {
+	v, al := ERPAlignment(AbsDiff, 0, []float64{1, 2, 3}, []float64{1, 3})
+	if v != 2 {
+		t.Errorf("value = %v, want 2", v)
+	}
+	if len(al) != 3 {
+		t.Errorf("alignment = %v, want 3 couplings", al)
+	}
+	gaps := 0
+	for _, c := range al {
+		if c.I == Gap || c.J == Gap {
+			gaps++
+		}
+	}
+	if gaps != 1 {
+		t.Errorf("alignment %v has %d gaps, want 1", al, gaps)
+	}
+}

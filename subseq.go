@@ -188,10 +188,24 @@ func ERPAlignment[E any](g Ground[E], gap E, a, b []E) (float64, []Coupling) {
 }
 
 // ConsistentOn checks the paper's consistency property (Definition 1)
-// exhaustively on the pair (q, x); see dist.FindInconsistency for the
+// exhaustively on the pair (q, x); see FindInconsistency for the
 // witness-returning variant.
 func ConsistentOn[E any](d DistanceFunc[E], q, x []E, tol float64) bool {
 	return dist.ConsistentOn(d, q, x, tol)
+}
+
+// Inconsistency is a witness against Definition 1, returned by
+// FindInconsistency: the subsequence x[XStart:XEnd) whose best counterpart
+// in q (at distance Best) exceeds the base distance d(q, x) by more than the
+// tolerance.
+type Inconsistency = dist.Inconsistency
+
+// FindInconsistency exhaustively searches the pair (q, x) for a violation of
+// the consistency property, returning a witness and true if one exists. Use
+// it to vet a custom Measure's Consistent claim on small inputs before
+// handing it to NewMatcher.
+func FindInconsistency[E any](d DistanceFunc[E], q, x []E, tol float64) (Inconsistency, bool) {
+	return dist.FindInconsistency(d, q, x, tol)
 }
 
 // The Reference Net, exposed as a general-purpose metric index.

@@ -97,6 +97,60 @@ func TestPublicDistances(t *testing.T) {
 	}
 }
 
+// The capability checks must surface through the public constructor: DTW is
+// consistent but not a metric, so every backend except the linear scan must
+// reject it; lock-step measures admit no temporal shift, so λ0 must be 0.
+func TestPublicMeasureRejections(t *testing.T) {
+	db := []subseq.Sequence[float64]{{1, 2, 3, 4, 5, 6, 7, 8}}
+	dtw := subseq.DTWMeasure(subseq.AbsDiff)
+	p := subseq.Params{Lambda: 4, Lambda0: 1}
+	for _, kind := range []subseq.IndexKind{subseq.IndexRefNet, subseq.IndexCoverTree, subseq.IndexMV} {
+		if _, err := subseq.NewMatcher(dtw, subseq.Config{Params: p, Index: kind}, db); err == nil {
+			t.Errorf("DTW accepted with index %v; want rejection", kind)
+		}
+	}
+	if _, err := subseq.NewMatcher(dtw, subseq.Config{Params: p, Index: subseq.IndexLinearScan}, db); err != nil {
+		t.Errorf("DTW rejected with the linear-scan backend: %v", err)
+	}
+
+	for _, m := range []subseq.Measure[float64]{
+		subseq.EuclideanMeasure(subseq.AbsDiff),
+	} {
+		if _, err := subseq.NewMatcher(m, subseq.Config{Params: subseq.Params{Lambda: 4, Lambda0: 1}}, db); err == nil {
+			t.Errorf("lock-step measure %q accepted with λ0=1; want rejection", m.Name)
+		}
+		if _, err := subseq.NewMatcher(m, subseq.Config{Params: subseq.Params{Lambda: 4}}, db); err != nil {
+			t.Errorf("lock-step measure %q rejected with λ0=0: %v", m.Name, err)
+		}
+	}
+	bdb := []subseq.Sequence[byte]{subseq.Sequence[byte]("ABCDEFGH")}
+	if _, err := subseq.NewMatcher(subseq.HammingMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 4, Lambda0: 1}}, bdb); err == nil {
+		t.Error("Hamming accepted with λ0=1; want rejection")
+	}
+}
+
+// FindInconsistency is the witness-returning variant of ConsistentOn and
+// must agree with it.
+func TestPublicFindInconsistency(t *testing.T) {
+	broken := func(a, b []float64) float64 { return float64(10 - min(len(a), len(b))) }
+	q := []float64{1, 2, 3, 4, 5, 6}
+	w, bad := subseq.FindInconsistency(broken, q, q, 1e-9)
+	if !bad {
+		t.Fatal("broken distance passed FindInconsistency")
+	}
+	if w.Best <= w.Base {
+		t.Errorf("witness %+v is not a violation", w)
+	}
+	if subseq.ConsistentOn(broken, q, q, 1e-9) {
+		t.Error("ConsistentOn disagrees with FindInconsistency")
+	}
+	good := subseq.LevenshteinMeasure[byte]()
+	if _, bad := subseq.FindInconsistency(good.Fn, []byte("ABAB"), []byte("ABBA"), 1e-9); bad {
+		t.Error("Levenshtein flagged inconsistent")
+	}
+}
+
 func TestPublicPartitionAndSegments(t *testing.T) {
 	x := subseq.Sequence[int]{1, 2, 3, 4, 5, 6, 7}
 	wins := subseq.Partition(0, x, 3)
