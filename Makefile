@@ -1,8 +1,9 @@
 # Development targets; `make check` is what CI runs.
 
 GO ?= go
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench fmt fmt-fix vet check
+.PHONY: all build test test-short bench bench-smoke fmt fmt-fix vet check
 
 all: check
 
@@ -15,7 +16,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# bench runs the index + matcher benchmarks at measurement benchtime and
+# emits both artefacts: BENCH_<date>.txt (benchstat-compatible raw output)
+# and BENCH_<date>.json (the same numbers, parsed by cmd/benchjson).
 bench:
+	$(GO) test -bench=. -benchtime=1s -run=^$$ . > BENCH_$(BENCH_DATE).txt || \
+		{ cat BENCH_$(BENCH_DATE).txt; rm -f BENCH_$(BENCH_DATE).txt; exit 1; }
+	cat BENCH_$(BENCH_DATE).txt
+	$(GO) run ./cmd/benchjson < BENCH_$(BENCH_DATE).txt > BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).txt and BENCH_$(BENCH_DATE).json"
+
+# bench-smoke runs every benchmark for a single iteration so CI keeps the
+# bench code compiling and executing without paying measurement time.
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 fmt:

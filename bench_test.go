@@ -159,6 +159,63 @@ func BenchmarkMatcherLongest(b *testing.B) {
 	}
 }
 
+// --- Batch / worker-pool benchmarks ---
+
+// proteinBatch builds a matcher plus a set of queries for the batched
+// throughput benchmarks.
+func proteinBatch(b *testing.B, windows, numQ int) (*subseq.Matcher[byte], []subseq.Sequence[byte]) {
+	b.Helper()
+	ds := data.Proteins(windows, 20, 1)
+	mt, err := subseq.NewMatcher(subseq.LevenshteinFastMeasure(), subseq.Config{
+		Params: subseq.Params{Lambda: 40, Lambda0: 1},
+	}, ds.Sequences)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]subseq.Sequence[byte], numQ)
+	for i := range qs {
+		qs[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, uint64(100+i))
+	}
+	return mt, qs
+}
+
+// BenchmarkMatcherSequentialQueries is the baseline the worker pool is
+// measured against: the same query set answered one FindAll at a time.
+func BenchmarkMatcherSequentialQueries(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			sinkRows += len(mt.FindAll(q, 2))
+		}
+	}
+}
+
+// BenchmarkMatcherBatch answers the same query set with the sequential
+// batched path (shared index traversal, no goroutines).
+func BenchmarkMatcherBatch(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ms := range mt.FindAllBatch(qs, 2) {
+			sinkRows += len(ms)
+		}
+	}
+}
+
+// BenchmarkMatcherQueryPool adds the worker pool on top of the batched
+// path — the multi-core configuration a serving deployment would run.
+func BenchmarkMatcherQueryPool(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	pool := subseq.NewQueryPool(mt, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ms := range pool.FindAll(qs, 2) {
+			sinkRows += len(ms)
+		}
+	}
+}
+
 // --- Ablations (design decisions from DESIGN.md §5) ---
 
 // Ablation 1: generic DP Levenshtein vs byte-specialised DP vs Myers'
@@ -183,6 +240,34 @@ func BenchmarkAblationLevenshteinBytesDP(b *testing.B) {
 func BenchmarkAblationLevenshteinMyers(b *testing.B) {
 	x := []byte("ACDEFGHIKLMNPQRSTVWY")
 	y := []byte("YWVTSRQPNMLKIHGFEDCA")
+	for i := 0; i < b.N; i++ {
+		sinkRows += int(dist.LevenshteinFast(x, y))
+	}
+}
+
+// Ablation 1b: past the 64-byte word boundary the block-based (multi-word)
+// Myers path must stay bit-parallel — compare against the byte DP on the
+// same 120-byte inputs.
+func longAblationInputs() (x, y []byte) {
+	x = make([]byte, 120)
+	y = make([]byte, 120)
+	aa := "ACDEFGHIKLMNPQRSTVWY"
+	for i := range x {
+		x[i] = aa[i%len(aa)]
+		y[i] = aa[(i*7+3)%len(aa)]
+	}
+	return x, y
+}
+
+func BenchmarkAblationLevenshteinBytesDPLong(b *testing.B) {
+	x, y := longAblationInputs()
+	for i := 0; i < b.N; i++ {
+		sinkRows += int(dist.LevenshteinBytes(x, y))
+	}
+}
+
+func BenchmarkAblationLevenshteinMyersBlockLong(b *testing.B) {
+	x, y := longAblationInputs()
 	for i := 0; i < b.N; i++ {
 		sinkRows += int(dist.LevenshteinFast(x, y))
 	}

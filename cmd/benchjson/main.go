@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output (read from stdin) into
+// a JSON summary, for the `make bench` target's BENCH_<date>.json artefact.
+// The raw text input is what benchstat consumes; the JSON mirrors it
+// field-for-field so dashboards and diff scripts need no Go-bench parser.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | go run ./cmd/benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Extra holds additional reported metrics (B/op, allocs/op, custom
+	// ReportMetric units like dist/op), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Summary is the whole run.
+type Summary struct {
+	Date    string  `json:"date"`
+	Context string  `json:"context,omitempty"` // goos/goarch/pkg/cpu lines
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	sum := Summary{Date: time.Now().UTC().Format(time.RFC3339)}
+	var ctx []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			ctx = append(ctx, line)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: fields[0], Iterations: iters}
+		// Remaining fields come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				e.NsPerOp = v
+				continue
+			}
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[fields[i+1]] = v
+		}
+		sum.Entries = append(sum.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	sum.Context = strings.Join(ctx, "; ")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// batchQueries builds a db plus several queries sharing mutated motifs.
+func batchQueries(rng *rand.Rand, numQ int) ([]seq.Sequence[byte], []seq.Sequence[byte]) {
+	db, _ := randStrings(rng, 3, 48, 0, 0, false)
+	qs := make([]seq.Sequence[byte], numQ)
+	for i := range qs {
+		_, q := randStrings(rng, 1, 10, 26, 9, i%2 == 0)
+		// Plant each query's motif into the shared db too.
+		target := db[rng.IntN(len(db))]
+		copy(target[rng.IntN(len(target)-9):], q[3:12])
+		qs[i] = q
+	}
+	return db, qs
+}
+
+// The batched paths must return exactly the sequential results, for every
+// index backend (the refnet takes the shared-traversal path; the others
+// exercise the fallbacks, including the linear backend's incremental
+// kernels).
+func TestBatchMatchesSequentialAllBackends(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(8, 800))
+	db, qs := batchQueries(rng, 5)
+	const eps = 0.5
+	for _, kind := range []IndexKind{IndexRefNet, IndexCoverTree, IndexMV, IndexLinearScan} {
+		mt, err := NewMatcher(lev, Config{Params: p, Index: kind, MVRefs: 3}, db)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// FilterHitsBatch vs FilterHits.
+		hitsBatch := mt.FilterHitsBatch(qs, eps)
+		for i, q := range qs {
+			want := mt.FilterHits(q, eps)
+			if len(hitsBatch[i]) != len(want) {
+				t.Fatalf("%v query %d: batch %d hits, sequential %d", kind, i, len(hitsBatch[i]), len(want))
+			}
+			for j := range want {
+				if hitsBatch[i][j].Window.String() != want[j].Window.String() ||
+					hitsBatch[i][j].Segment.String() != want[j].Segment.String() {
+					t.Fatalf("%v query %d hit %d: batch %v/%v, sequential %v/%v", kind, i, j,
+						hitsBatch[i][j].Window, hitsBatch[i][j].Segment, want[j].Window, want[j].Segment)
+				}
+			}
+		}
+		// FindAllBatch vs FindAll.
+		allBatch := mt.FindAllBatch(qs, eps)
+		for i, q := range qs {
+			want := mt.FindAll(q, eps)
+			if len(allBatch[i]) != len(want) {
+				t.Fatalf("%v query %d: FindAllBatch %d matches, FindAll %d", kind, i, len(allBatch[i]), len(want))
+			}
+			for j := range want {
+				if allBatch[i][j] != want[j] {
+					t.Fatalf("%v query %d match %d: batch %v, sequential %v", kind, i, j, allBatch[i][j], want[j])
+				}
+			}
+		}
+		// LongestBatch vs Longest.
+		longBatch, foundBatch := mt.LongestBatch(qs, eps)
+		for i, q := range qs {
+			want, ok := mt.Longest(q, eps)
+			if foundBatch[i] != ok || (ok && longBatch[i] != want) {
+				t.Fatalf("%v query %d: LongestBatch (%v,%v), Longest (%v,%v)", kind, i, longBatch[i], foundBatch[i], want, ok)
+			}
+		}
+	}
+}
+
+// The pool must return the same results as the sequential batch for every
+// query type, at several worker counts (1 worker exercises the chunking
+// alone, many workers the concurrency).
+func TestQueryPoolMatchesSequential(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(9, 900))
+	db, qs := batchQueries(rng, 9)
+	const eps = 0.5
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll := mt.FindAllBatch(qs, eps)
+	wantLong, wantFound := mt.LongestBatch(qs, eps)
+	nopts := NearestOptions{EpsMax: 4, EpsInc: 0.5}
+	wantNear := make([]Match, len(qs))
+	wantNearOK := make([]bool, len(qs))
+	for i, q := range qs {
+		wantNear[i], wantNearOK[i] = mt.Nearest(q, nopts)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		pool := NewQueryPool(mt, workers)
+		gotAll := pool.FindAll(qs, eps)
+		gotLong, gotFound := pool.Longest(qs, eps)
+		gotNear, gotNearOK := pool.Nearest(qs, nopts)
+		for i := range qs {
+			if len(gotAll[i]) != len(wantAll[i]) {
+				t.Fatalf("workers=%d query %d: pool FindAll %d matches, want %d", workers, i, len(gotAll[i]), len(wantAll[i]))
+			}
+			for j := range wantAll[i] {
+				if gotAll[i][j] != wantAll[i][j] {
+					t.Fatalf("workers=%d query %d match %d: pool %v, want %v", workers, i, j, gotAll[i][j], wantAll[i][j])
+				}
+			}
+			if gotFound[i] != wantFound[i] || (wantFound[i] && gotLong[i] != wantLong[i]) {
+				t.Fatalf("workers=%d query %d: pool Longest (%v,%v), want (%v,%v)", workers, i, gotLong[i], gotFound[i], wantLong[i], wantFound[i])
+			}
+			if gotNearOK[i] != wantNearOK[i] || (wantNearOK[i] && gotNear[i] != wantNear[i]) {
+				t.Fatalf("workers=%d query %d: pool Nearest (%v,%v), want (%v,%v)", workers, i, gotNear[i], gotNearOK[i], wantNear[i], wantNearOK[i])
+			}
+		}
+	}
+}
+
+// Drive one matcher from many goroutines (direct queries and pools mixed)
+// so `go test -race ./internal/core/` exercises the pooled scratch, the
+// pooled refnet query state and the atomic counters under contention.
+func TestQueryPoolRace(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(10, 1000))
+	db, qs := batchQueries(rng, 8)
+	const eps = 0.5
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mt.FindAllBatch(qs, eps)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				pool := NewQueryPool(mt, 3)
+				for iter := 0; iter < 5; iter++ {
+					got := pool.FindAll(qs, eps)
+					for i := range qs {
+						if len(got[i]) != len(want[i]) {
+							t.Errorf("goroutine %d: query %d got %d matches, want %d", g, i, len(got[i]), len(want[i]))
+							return
+						}
+					}
+				}
+			} else {
+				for iter := 0; iter < 5; iter++ {
+					for i, q := range qs {
+						if got := mt.FindAll(q, eps); len(got) != len(want[i]) {
+							t.Errorf("goroutine %d: query %d got %d matches, want %d", g, i, len(got), len(want[i]))
+							return
+						}
+						mt.Nearest(q, NearestOptions{EpsMax: 4, EpsInc: 1})
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// The incremental linear-backend filter must agree with the plain path on
+// measures that carry kernels, across λ0 values including zero (which
+// routes to the bounded scan instead).
+func TestIncrementalFilterMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 1100))
+	db, q := randStrings(rng, 3, 40, 30, 10, true)
+	for _, lam0 := range []int{0, 1, 2} {
+		p := Params{Lambda: 8, Lambda0: lam0}
+		withKernel, err := NewMatcher(dist.LevenshteinMeasure[byte](), Config{Params: p, Index: IndexLinearScan}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the capabilities to force the plain path on a second
+		// matcher with identical semantics.
+		plainMeasure := dist.LevenshteinMeasure[byte]()
+		plainMeasure.Incremental = nil
+		plainMeasure.Bounded = nil
+		plain, err := NewMatcher(plainMeasure, Config{Params: p, Index: IndexLinearScan}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0, 1, 2.5} {
+			got := withKernel.FilterHits(q, eps)
+			want := plain.FilterHits(q, eps)
+			if len(got) != len(want) {
+				t.Fatalf("λ0=%d eps=%v: incremental %d hits, plain %d", lam0, eps, len(got), len(want))
+			}
+			for j := range want {
+				if got[j].Window.String() != want[j].Window.String() ||
+					got[j].Segment.String() != want[j].Segment.String() {
+					t.Fatalf("λ0=%d eps=%v hit %d: incremental %v/%v, plain %v/%v", lam0, eps, j,
+						got[j].Window, got[j].Segment, want[j].Window, want[j].Segment)
+				}
+			}
+			// Distance accounting must match the plain path (one counted
+			// evaluation per priced segment↔window pair).
+			withKernel.ResetFilterCalls()
+			plain.ResetFilterCalls()
+			withKernel.FilterHits(q, eps)
+			plain.FilterHits(q, eps)
+			if a, b := withKernel.FilterDistanceCalls(), plain.FilterDistanceCalls(); a != b {
+				t.Fatalf("λ0=%d eps=%v: incremental counted %d calls, plain %d", lam0, eps, a, b)
+			}
+		}
+	}
+}

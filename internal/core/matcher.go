@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/covertree"
 	"repro/internal/dist"
@@ -53,6 +54,13 @@ type batchRanger[E any] interface {
 	BatchRange(qs []seq.Window[E], eps float64) [][]seq.Window[E]
 }
 
+// existenceIndex is the optional existence-only fast path (implemented by
+// the reference net and the linear scan): it stops at the first in-range
+// window instead of materialising the full result set.
+type existenceIndex[E any] interface {
+	Exists(q seq.Window[E], eps float64) bool
+}
+
 // Matcher is the subsequence-retrieval engine. Construct with NewMatcher,
 // which runs the two offline steps (dataset windowing, index construction);
 // the query methods FindAll, Longest and Nearest run the online steps.
@@ -72,7 +80,38 @@ type Matcher[E any] struct {
 	buildCalls int64
 	// verifier handles candidate generation + verification (step 5).
 	verifier *verifier[E]
+	// linear is set when the backend is IndexLinearScan; the incremental
+	// filter kernels need direct access to the window slice.
+	linear *metric.LinearScan[seq.Window[E]]
+	// scratch pools per-query filter state (segment, probe and hit slices)
+	// so concurrent queries allocate nothing per segment.
+	scratch sync.Pool
 }
+
+// filterScratch is the reusable per-query working set of the filter steps.
+type filterScratch[E any] struct {
+	segs   []seq.Segment[E]
+	probes []seq.Window[E]
+	hits   []Hit[E]
+	// perSeg collects, on the incremental-kernel path, the windows hit by
+	// each segment so results can be emitted in the same segment-major
+	// order as the plain path.
+	perSeg [][]seq.Window[E]
+	// kernels caches one incremental kernel per database window. Kernels
+	// are single-threaded state, so they live in the scratch (one set per
+	// concurrent query) rather than on the matcher; the window binding and
+	// its preprocessing survive across queries that reuse the scratch.
+	kernels []dist.Kernel[E]
+}
+
+func (mt *Matcher[E]) getScratch() *filterScratch[E] {
+	if sc, ok := mt.scratch.Get().(*filterScratch[E]); ok {
+		return sc
+	}
+	return &filterScratch[E]{}
+}
+
+func (mt *Matcher[E]) putScratch(sc *filterScratch[E]) { mt.scratch.Put(sc) }
 
 // NewMatcher builds a matcher over db: it validates the configuration,
 // partitions every database sequence into windows of length λ/2 (step 1)
@@ -119,10 +158,21 @@ func NewMatcher[E any](m dist.Measure[E], cfg Config, db []seq.Sequence[E]) (*Ma
 		mt.index = mv
 	case IndexLinearScan:
 		ls := metric.NewLinearScan(windowDist)
+		if m.Bounded != nil {
+			// Thread the query radius into the distance kernel: an
+			// early-abandoned comparison still counts as one distance
+			// computation, but costs a fraction of the cells.
+			bounded := m.Bounded
+			ls.SetBounded(mt.counter.CountBounded(
+				func(a, b seq.Window[E], eps float64) float64 {
+					return bounded(a.Data, b.Data, eps)
+				}))
+		}
 		for _, w := range mt.windows {
 			ls.Insert(w)
 		}
 		mt.index = ls
+		mt.linear = ls
 	default:
 		return nil, fmt.Errorf("core: unknown index kind %v", cfg.Index)
 	}
@@ -164,30 +214,143 @@ func (mt *Matcher[E]) VerifyDistanceCalls() int64 { return mt.verifier.calls.Loa
 // similar pair, which is what caps the framework at O(|Q||X|) segment
 // comparisons.
 func (mt *Matcher[E]) FilterHits(q seq.Sequence[E], eps float64) []Hit[E] {
-	segs := seq.SegmentsFor(q, mt.cfg.Params.Lambda, mt.cfg.Params.Lambda0)
+	sc := mt.getScratch()
+	defer mt.putScratch(sc)
+	hits := mt.filterHits(q, eps, sc)
+	if len(hits) == 0 {
+		return nil
+	}
+	out := make([]Hit[E], len(hits))
+	copy(out, hits)
+	return out
+}
+
+// filterHits is FilterHits into pooled scratch: the returned slice aliases
+// sc.hits and is valid until the scratch is reused. The internal query
+// paths (FindAll, Longest, Nearest, the batch engine) consume the hits
+// before returning the scratch, so steady-state queries allocate neither
+// probe windows nor hit slices.
+func (mt *Matcher[E]) filterHits(q seq.Sequence[E], eps float64, sc *filterScratch[E]) []Hit[E] {
+	sc.segs = seq.AppendSegmentsFor(sc.segs[:0], q, mt.cfg.Params.Lambda, mt.cfg.Params.Lambda0)
+	sc.hits = sc.hits[:0]
+	segs := sc.segs
 	if len(segs) == 0 {
 		return nil
 	}
-	var hits []Hit[E]
+	// The incremental kernel prices all segment lengths at one start for a
+	// single pass over the window; it pays off exactly when there is more
+	// than one length (λ0 > 0 — with a single length the bounded scan's
+	// early abandoning is the better linear-backend kernel).
+	if mt.linear != nil && mt.measure.Incremental != nil && mt.cfg.Params.Lambda0 > 0 {
+		return mt.filterHitsIncremental(q, eps, sc)
+	}
 	if br, ok := mt.index.(batchRanger[E]); ok {
-		qs := make([]seq.Window[E], len(segs))
-		for i, s := range segs {
-			qs[i] = seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data}
+		sc.probes = sc.probes[:0]
+		for _, s := range segs {
+			sc.probes = append(sc.probes, seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data})
 		}
-		for i, wins := range br.BatchRange(qs, eps) {
+		for i, wins := range br.BatchRange(sc.probes, eps) {
 			for _, w := range wins {
-				hits = append(hits, Hit[E]{Window: w, Segment: segs[i]})
+				sc.hits = append(sc.hits, Hit[E]{Window: w, Segment: segs[i]})
 			}
 		}
-		return hits
+		return sc.hits
 	}
 	for _, s := range segs {
 		probe := seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data}
 		for _, w := range mt.index.Range(probe, eps) {
-			hits = append(hits, Hit[E]{Window: w, Segment: s})
+			sc.hits = append(sc.hits, Hit[E]{Window: w, Segment: s})
 		}
 	}
-	return hits
+	return sc.hits
+}
+
+// filterHitsIncremental is the linear-backend filter driven by the
+// measure's incremental kernel (ROADMAP: per-measure window-distance
+// evaluation across overlapping segments). For every database window it
+// binds one kernel and, per query offset, streams the λ/2+λ0 elements once,
+// reading off the distance of every segment length on the way — 2λ0+1
+// segment evaluations for one pass instead of 2λ0+1 independent DPs.
+//
+// Results are bucketed per segment and flattened segment-major so the hit
+// order matches the plain path exactly; distance accounting also matches
+// (one counted evaluation per priced segment↔window pair).
+func (mt *Matcher[E]) filterHitsIncremental(q seq.Sequence[E], eps float64, sc *filterScratch[E]) []Hit[E] {
+	l := mt.cfg.Params.WindowLen()
+	minLen, maxLen := l-mt.cfg.Params.Lambda0, l+mt.cfg.Params.Lambda0
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen > len(q) {
+		maxLen = len(q)
+	}
+	segs := sc.segs
+	// seg index of (length n, start a): offsets[n-minLen] + a, matching
+	// AppendSegments' length-major order.
+	offsets := make([]int, maxLen-minLen+1)
+	for n, off := minLen+1, 0; n <= maxLen; n++ {
+		off += len(q) - (n - 1) + 1
+		offsets[n-minLen] = off
+	}
+	for len(sc.perSeg) < len(segs) {
+		sc.perSeg = append(sc.perSeg, nil)
+	}
+	perSeg := sc.perSeg[:len(segs)]
+	for i := range perSeg {
+		perSeg[i] = perSeg[i][:0]
+	}
+	items := mt.linear.Items()
+	if len(sc.kernels) != len(items) {
+		sc.kernels = make([]dist.Kernel[E], len(items))
+		for i, w := range items {
+			sc.kernels[i] = mt.measure.Incremental(w.Data)
+		}
+	}
+	var evals int64
+	for wi, w := range items {
+		k := sc.kernels[wi]
+		for a := 0; a+minLen <= len(q); a++ {
+			k.Reset()
+			top := maxLen
+			if a+top > len(q) {
+				top = len(q) - a
+			}
+			for n := 1; n <= top; n++ {
+				d := k.Feed(q[a+n-1])
+				if n >= minLen && d <= eps {
+					perSeg[offsets[n-minLen]+a] = append(perSeg[offsets[n-minLen]+a], w)
+				}
+			}
+			evals += int64(top - minLen + 1)
+		}
+	}
+	mt.counter.Add(evals)
+	for i, wins := range perSeg {
+		for _, w := range wins {
+			sc.hits = append(sc.hits, Hit[E]{Window: w, Segment: segs[i]})
+		}
+	}
+	return sc.hits
+}
+
+// hasHits reports whether the filter produces any segment hit at radius
+// eps, stopping at the first in-range window. Nearest's binary search
+// probes many radii; materialising (and then discarding) the full hit list
+// at every probe is what this path avoids.
+func (mt *Matcher[E]) hasHits(q seq.Sequence[E], eps float64, sc *filterScratch[E]) bool {
+	sc.segs = seq.AppendSegmentsFor(sc.segs[:0], q, mt.cfg.Params.Lambda, mt.cfg.Params.Lambda0)
+	ex, hasEx := mt.index.(existenceIndex[E])
+	for _, s := range sc.segs {
+		probe := seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data}
+		if hasEx {
+			if ex.Exists(probe, eps) {
+				return true
+			}
+		} else if len(mt.index.Range(probe, eps)) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // FindAll answers query Type I: it returns every pair of similar
@@ -199,7 +362,9 @@ func (mt *Matcher[E]) FilterHits(q seq.Sequence[E], eps float64) []Hit[E] {
 // matches are the domain of Longest (Type II); completeness is exact for
 // pair lengths up to λ.
 func (mt *Matcher[E]) FindAll(q seq.Sequence[E], eps float64) []Match {
-	hits := mt.FilterHits(q, eps)
+	sc := mt.getScratch()
+	defer mt.putScratch(sc)
+	hits := mt.filterHits(q, eps, sc)
 	return mt.verifier.verifyAll(q, hits, eps)
 }
 
@@ -209,7 +374,9 @@ func (mt *Matcher[E]) FindAll(q seq.Sequence[E], eps float64) []Match {
 // the longest chain downwards, as in Section 7. The boolean reports whether
 // any similar pair exists.
 func (mt *Matcher[E]) Longest(q seq.Sequence[E], eps float64) (Match, bool) {
-	hits := mt.FilterHits(q, eps)
+	sc := mt.getScratch()
+	defer mt.putScratch(sc)
+	hits := mt.filterHits(q, eps, sc)
 	return mt.verifier.verifyLongest(q, hits, eps)
 }
 
@@ -227,29 +394,33 @@ type NearestOptions struct {
 // Nearest answers query Type III: it returns a pair minimising δ(SQ,SX)
 // subject to the length constraints. Following Section 7 it binary-searches
 // the minimal radius at which the filter produces any segment hit, then
-// verifies, enlarging the radius by EpsInc until a pair is confirmed.
+// verifies, enlarging the radius by EpsInc until a pair is confirmed. The
+// binary-search probes are existence-only (hasHits): they stop at the first
+// in-range window instead of materialising every hit at every probe radius;
+// only the final verification rounds run the full filter.
 func (mt *Matcher[E]) Nearest(q seq.Sequence[E], opts NearestOptions) (Match, bool) {
 	if opts.EpsMax <= 0 || opts.EpsInc <= 0 {
 		return Match{}, false
 	}
-	hasHits := func(eps float64) bool { return len(mt.FilterHits(q, eps)) > 0 }
-	if !hasHits(opts.EpsMax) {
+	sc := mt.getScratch()
+	defer mt.putScratch(sc)
+	if !mt.hasHits(q, opts.EpsMax, sc) {
 		return Match{}, false
 	}
 	lo, hi := 0.0, opts.EpsMax
-	if hasHits(0) {
+	if mt.hasHits(q, 0, sc) {
 		hi = 0
 	}
 	for hi-lo > opts.EpsInc {
 		mid := lo + (hi-lo)/2
-		if hasHits(mid) {
+		if mt.hasHits(q, mid, sc) {
 			hi = mid
 		} else {
 			lo = mid
 		}
 	}
 	for eps := hi; eps <= opts.EpsMax+opts.EpsInc/2; eps += opts.EpsInc {
-		hits := mt.FilterHits(q, eps)
+		hits := mt.filterHits(q, eps, sc)
 		if best, ok := mt.verifier.verifyNearest(q, hits, eps); ok {
 			return best, true
 		}

@@ -2,9 +2,10 @@ package core
 
 import (
 	"sort"
-	"sync/atomic"
+	"sync"
 
 	"repro/internal/dist"
+	"repro/internal/metric"
 	"repro/internal/seq"
 )
 
@@ -37,12 +38,42 @@ type verifier[E any] struct {
 	fn    dist.Func[E]
 	p     Params
 	db    []seq.Sequence[E]
-	calls atomic.Int64
+	calls metric.Tally
+	// scratch pools the per-query dedup maps: candidate regions overlap
+	// heavily, so the pair-seen map reaches tens of thousands of entries
+	// per query — reallocating it per call dominated the query path's
+	// allocation profile and throttled the worker pool via GC.
+	scratch sync.Pool
+}
+
+// verifyScratch is the pooled per-query working set of the verifier.
+type verifyScratch struct {
+	seen    map[pairKey]bool
+	regions map[region]bool
+	byWin   map[winKey][]int
+	regs    []region
 }
 
 func newVerifier[E any](fn dist.Func[E], p Params, db []seq.Sequence[E]) *verifier[E] {
 	return &verifier[E]{fn: fn, p: p, db: db}
 }
+
+func (v *verifier[E]) getScratch() *verifyScratch {
+	if sc, ok := v.scratch.Get().(*verifyScratch); ok {
+		clear(sc.seen)
+		clear(sc.regions)
+		clear(sc.byWin)
+		sc.regs = sc.regs[:0]
+		return sc
+	}
+	return &verifyScratch{
+		seen:    make(map[pairKey]bool),
+		regions: make(map[region]bool),
+		byWin:   make(map[winKey][]int),
+	}
+}
+
+func (v *verifier[E]) putScratch(sc *verifyScratch) { v.scratch.Put(sc) }
 
 func (v *verifier[E]) dist(a, b []E) float64 {
 	v.calls.Add(1)
@@ -53,6 +84,9 @@ func (v *verifier[E]) dist(a, b []E) float64 {
 type pairKey struct {
 	seqID, qs, qe, xs, xe int
 }
+
+// winKey identifies a database window by sequence and ordinal.
+type winKey struct{ seqID, ord int }
 
 // region is the candidate search box derived from a hit or a hit pair.
 type region struct {
@@ -104,16 +138,15 @@ func (v *verifier[E]) hitRegion(q seq.Sequence[E], h Hit[E]) region {
 // regions. The query-span compatibility filter discards pairs whose
 // segments are further apart than the spanned windows allow under the
 // per-window shift budget λ0.
-func (v *verifier[E]) runRegions(q seq.Sequence[E], hits []Hit[E]) []region {
+func (v *verifier[E]) runRegions(q seq.Sequence[E], hits []Hit[E], sc *verifyScratch) []region {
 	lam0 := v.p.Lambda0
-	type key struct{ seqID, ord int }
-	byWin := make(map[key][]int)
+	byWin := sc.byWin
 	for i, h := range hits {
-		k := key{h.Window.SeqID, h.Window.Ord}
+		k := winKey{h.Window.SeqID, h.Window.Ord}
 		byWin[k] = append(byWin[k], i)
 	}
-	seen := make(map[region]bool)
-	var out []region
+	seen := sc.regions
+	out := sc.regs
 	add := func(r region) {
 		if !seen[r] {
 			seen[r] = true
@@ -125,7 +158,7 @@ func (v *verifier[E]) runRegions(q seq.Sequence[E], hits []Hit[E]) []region {
 		// Extend forward while every window in between has hits.
 		seqID := h.Window.SeqID
 		for ord := h.Window.Ord + 1; ; ord++ {
-			ends, ok := byWin[key{seqID, ord}]
+			ends, ok := byWin[winKey{seqID, ord}]
 			if !ok {
 				break
 			}
@@ -146,6 +179,7 @@ func (v *verifier[E]) runRegions(q seq.Sequence[E], hits []Hit[E]) []region {
 			}
 		}
 	}
+	sc.regs = out
 	return out
 }
 
@@ -185,7 +219,9 @@ func (v *verifier[E]) forEachPair(r region, fn func(qs, qe, xs, xe int) bool) {
 
 // verifyAll implements query Type I verification over the per-hit regions.
 func (v *verifier[E]) verifyAll(q seq.Sequence[E], hits []Hit[E], eps float64) []Match {
-	seen := make(map[pairKey]bool)
+	sc := v.getScratch()
+	defer v.putScratch(sc)
+	seen := sc.seen
 	var out []Match
 	for _, h := range hits {
 		r := v.hitRegion(q, h)
@@ -224,10 +260,12 @@ func (v *verifier[E]) verifyAll(q seq.Sequence[E], hits []Hit[E], eps float64) [
 // verifyNearest implements query Type III verification: the minimum
 // distance pair within the run regions, if any pair is within eps.
 func (v *verifier[E]) verifyNearest(q seq.Sequence[E], hits []Hit[E], eps float64) (Match, bool) {
-	seen := make(map[pairKey]bool)
+	sc := v.getScratch()
+	defer v.putScratch(sc)
+	seen := sc.seen
 	var best Match
 	found := false
-	for _, r := range v.runRegions(q, hits) {
+	for _, r := range v.runRegions(q, hits, sc) {
 		x := v.db[r.seqID]
 		v.forEachPair(r, func(qs, qe, xs, xe int) bool {
 			k := pairKey{r.seqID, qs, qe, xs, xe}
@@ -254,10 +292,12 @@ func (v *verifier[E]) verifyLongest(q seq.Sequence[E], hits []Hit[E], eps float6
 	if len(hits) == 0 {
 		return Match{}, false
 	}
-	regions := v.runRegions(q, hits)
+	sc := v.getScratch()
+	defer v.putScratch(sc)
+	regions := v.runRegions(q, hits, sc)
 	sort.Slice(regions, func(i, j int) bool { return regions[i].qlenUpper() > regions[j].qlenUpper() })
 
-	seen := make(map[pairKey]bool)
+	seen := sc.seen
 	var best Match
 	found := false
 	for _, r := range regions {

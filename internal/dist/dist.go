@@ -53,6 +53,16 @@ type Ground[E any] func(a, b E) float64
 // functions of their inputs).
 type Func[E any] func(a, b []E) float64
 
+// BoundedFunc is an early-abandoning distance evaluation: it returns the
+// exact value of the underlying distance whenever that value is ≤ eps, and
+// otherwise may return ANY value strictly greater than eps (often a cheap
+// lower bound, or +Inf) as soon as the true distance provably exceeds the
+// threshold. Range filtering only ever compares the result against eps, so
+// threading the query radius into the kernel lets it stop mid-computation —
+// a partial Euclidean sum past eps², a banded edit DP whose band minimum
+// exceeds eps — without changing which items pass the filter.
+type BoundedFunc[E any] func(a, b []E, eps float64) float64
+
 // Properties is the capability record of a distance measure: the assumptions
 // it satisfies, which determine the framework configurations it can soundly
 // drive (core.validateMeasure consults exactly these three bits).
@@ -79,6 +89,11 @@ type Properties struct {
 // fields are exported so callers can assemble custom measures; the
 // constructors in this package return measures whose Props have been vetted
 // by the package's property-based tests.
+//
+// Incremental and Bounded are optional capabilities: nil means the measure
+// offers only the plain Fn evaluation, and every consumer falls back to it.
+// When present they must agree exactly with Fn (the package's tests
+// cross-check both against Fn on random inputs for every built-in measure).
 type Measure[E any] struct {
 	// Name identifies the measure in diagnostics and error messages.
 	Name string
@@ -86,6 +101,15 @@ type Measure[E any] struct {
 	Fn Func[E]
 	// Props records the assumptions Fn satisfies.
 	Props Properties
+	// Incremental, when non-nil, returns a stateful kernel evaluating
+	// d(·, w) over growing left-hand prefixes, reusing the work shared by
+	// prefixes that differ in one element (rolling lock-step sums, edit-DP
+	// row reuse, Myers column streaming). The filter uses it to price all
+	// 2λ0+1 segment lengths at one start for the cost of the longest.
+	Incremental func(w []E) Kernel[E]
+	// Bounded, when non-nil, is the early-abandoning evaluation of Fn;
+	// see BoundedFunc for the contract.
+	Bounded BoundedFunc[E]
 }
 
 // Coupling is one element pairing in an optimal alignment, as recovered by

@@ -49,9 +49,10 @@ func DTW[E any](g Ground[E]) Func[E] {
 // IndexLinearScan.
 func DTWMeasure[E any](g Ground[E]) Measure[E] {
 	return Measure[E]{
-		Name:  "dtw",
-		Fn:    DTW(g),
-		Props: Properties{Consistent: true, Metric: false, LockStep: false},
+		Name:    "dtw",
+		Fn:      DTW(g),
+		Props:   Properties{Consistent: true, Metric: false, LockStep: false},
+		Bounded: dtwBounded(g),
 	}
 }
 

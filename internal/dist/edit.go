@@ -51,12 +51,15 @@ func editDP(n, m int, sub func(i, j int) float64, delA, delB func(int) float64) 
 }
 
 // LevenshteinMeasure is Levenshtein bundled with its properties: a
-// consistent metric, accepted by every index backend.
+// consistent metric, accepted by every index backend, with the row-reuse
+// incremental kernel and the Ukkonen-banded bounded evaluation.
 func LevenshteinMeasure[E comparable]() Measure[E] {
 	return Measure[E]{
-		Name:  "levenshtein",
-		Fn:    Levenshtein[E](),
-		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Name:        "levenshtein",
+		Fn:          Levenshtein[E](),
+		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
+		Incremental: levenshteinKernel[E],
+		Bounded:     levenshteinBounded[E](),
 	}
 }
 

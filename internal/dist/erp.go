@@ -39,12 +39,15 @@ func ERP[E any](g Ground[E], gap E) Func[E] {
 }
 
 // ERPMeasure is ERP bundled with its properties: a consistent metric,
-// accepted by every index backend.
+// accepted by every index backend, with the row-reuse incremental kernel
+// and row-minimum early abandoning.
 func ERPMeasure[E any](g Ground[E], gap E) Measure[E] {
 	return Measure[E]{
-		Name:  "erp",
-		Fn:    ERP(g, gap),
-		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Name:        "erp",
+		Fn:          ERP(g, gap),
+		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
+		Incremental: erpKernel(g, gap),
+		Bounded:     erpBounded(g, gap),
 	}
 }
 

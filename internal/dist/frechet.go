@@ -49,12 +49,14 @@ func DiscreteFrechet[E any](g Ground[E]) Func[E] {
 }
 
 // DiscreteFrechetMeasure is DiscreteFrechet bundled with its properties: a
-// consistent metric, accepted by every index backend.
+// consistent metric, accepted by every index backend, with row-minimum
+// early abandoning.
 func DiscreteFrechetMeasure[E any](g Ground[E]) Measure[E] {
 	return Measure[E]{
-		Name:  "dfd",
-		Fn:    DiscreteFrechet(g),
-		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Name:    "dfd",
+		Fn:      DiscreteFrechet(g),
+		Props:   Properties{Consistent: true, Metric: true, LockStep: false},
+		Bounded: frechetBounded(g),
 	}
 }
 

@@ -1,0 +1,171 @@
+package dist
+
+import "math"
+
+// Incremental kernels.
+//
+// Step 3 of the framework extracts, at every query offset a, the segments
+// q[a:a+L] for L = λ/2−λ0 … λ/2+λ0. Consecutive lengths at the same offset
+// differ by exactly one trailing element, so computing their distances to a
+// fixed database window independently repeats almost all of the work — a
+// full edit DP per length costs O(L·l) cells, while extending an existing DP
+// by the one new element costs a single O(l) row. A Kernel captures that
+// structure: it binds the window once and is then fed the query elements
+// left to right, reporting after every element the distance between the fed
+// prefix and the window. One pass of λ/2+λ0 feeds prices all 2λ0+1 segment
+// lengths, replacing 2λ0+1 independent evaluations.
+//
+// Kernels also exist for the lock-step measures (Euclidean, Hamming). There
+// λ0 = 0 leaves a single segment length, so prefix sharing saves nothing —
+// but the rolling accumulator form is what the bounded kernels in bounded.go
+// abandon early, and keeping the two shapes identical lets the filter treat
+// every measure uniformly.
+
+// Kernel is a stateful incremental distance evaluator bound to a fixed
+// right-hand sequence w. The n-th call to Feed appends the n-th element of
+// the left-hand sequence and returns d(x[0:n], w) — the same value the
+// measure's Fn would return on those slices (+Inf where Fn is undefined,
+// e.g. a lock-step measure on mismatched lengths). Reset rewinds the kernel
+// to the empty prefix so it can be reused for a new left-hand sequence; the
+// bound w (and any preprocessing of it) is retained across Resets.
+//
+// A Kernel is single-threaded state: use one kernel per goroutine.
+type Kernel[E any] interface {
+	Feed(x E) float64
+	Reset()
+}
+
+// euclideanKernel is the rolling lock-step kernel for Euclidean: it
+// accumulates the sum of squared ground distances elementwise and reports
+// sqrt at the exact window length, +Inf elsewhere.
+type euclideanKernel[E any] struct {
+	g   Ground[E]
+	w   []E
+	n   int
+	sum float64
+}
+
+func (k *euclideanKernel[E]) Feed(x E) float64 {
+	if k.n >= len(k.w) {
+		k.n++
+		return math.Inf(1)
+	}
+	d := k.g(x, k.w[k.n])
+	k.sum += d * d
+	k.n++
+	if k.n == len(k.w) {
+		return math.Sqrt(k.sum)
+	}
+	return math.Inf(1)
+}
+
+func (k *euclideanKernel[E]) Reset() { k.n, k.sum = 0, 0 }
+
+// hammingKernel is the rolling lock-step kernel for Hamming: a running
+// mismatch count, defined at the exact window length only.
+type hammingKernel[E comparable] struct {
+	w      []E
+	n      int
+	misses int
+}
+
+func (k *hammingKernel[E]) Feed(x E) float64 {
+	if k.n >= len(k.w) {
+		k.n++
+		return math.Inf(1)
+	}
+	if x != k.w[k.n] {
+		k.misses++
+	}
+	k.n++
+	if k.n == len(k.w) {
+		return float64(k.misses)
+	}
+	return math.Inf(1)
+}
+
+func (k *hammingKernel[E]) Reset() { k.n, k.misses = 0, 0 }
+
+// editRowKernel is the shared incremental form of the edit-family DPs
+// (Levenshtein, weighted edit, protein edit, ERP): it maintains the DP row
+// row[j] = d(fed prefix, w[:j]) and advances it by one row per fed element —
+// the row-reuse evaluation of the DP that editDP computes from scratch.
+//
+// The cost model mirrors editDP: sub(x, j) prices substituting x with w[j],
+// delX(x) prices dropping a fed element, delW(j) prices dropping w[j].
+type editRowKernel[E any] struct {
+	w    []E
+	sub  func(x E, j int) float64
+	delX func(x E) float64
+	delW func(j int) float64
+	// base is the empty-prefix row (cumulative delW costs), precomputed at
+	// construction so Reset is a copy.
+	base []float64
+	row  []float64
+}
+
+func newEditRowKernel[E any](w []E, sub func(x E, j int) float64, delX func(x E) float64, delW func(j int) float64) *editRowKernel[E] {
+	k := &editRowKernel[E]{
+		w: w, sub: sub, delX: delX, delW: delW,
+		base: make([]float64, len(w)+1),
+		row:  make([]float64, len(w)+1),
+	}
+	for j := 1; j <= len(w); j++ {
+		k.base[j] = k.base[j-1] + delW(j-1)
+	}
+	copy(k.row, k.base)
+	return k
+}
+
+func (k *editRowKernel[E]) Feed(x E) float64 {
+	dx := k.delX(x)
+	diag := k.row[0]
+	k.row[0] += dx
+	for j := 1; j < len(k.row); j++ {
+		best := diag + k.sub(x, j-1)
+		if v := k.row[j] + dx; v < best {
+			best = v
+		}
+		if v := k.row[j-1] + k.delW(j-1); v < best {
+			best = v
+		}
+		diag = k.row[j]
+		k.row[j] = best
+	}
+	return k.row[len(k.row)-1]
+}
+
+func (k *editRowKernel[E]) Reset() { copy(k.row, k.base) }
+
+// levenshteinKernel returns the unit-cost incremental kernel over any
+// comparable alphabet.
+func levenshteinKernel[E comparable](w []E) Kernel[E] {
+	return newEditRowKernel(w,
+		func(x E, j int) float64 {
+			if x == w[j] {
+				return 0
+			}
+			return 1
+		},
+		func(E) float64 { return 1 },
+		func(int) float64 { return 1 })
+}
+
+// erpKernel returns the incremental ERP kernel: substitution priced by the
+// ground distance, indels by the ground distance to the gap element.
+func erpKernel[E any](g Ground[E], gap E) func(w []E) Kernel[E] {
+	return func(w []E) Kernel[E] {
+		return newEditRowKernel(w,
+			func(x E, j int) float64 { return g(x, w[j]) },
+			func(x E) float64 { return g(x, gap) },
+			func(j int) float64 { return g(w[j], gap) })
+	}
+}
+
+// proteinKernel returns the incremental protein-edit kernel.
+func proteinKernel(w []byte) Kernel[byte] {
+	return newEditRowKernel(w,
+		func(x byte, j int) float64 { return proteinSubCost(x, w[j]) },
+		func(byte) float64 { return proteinIndel },
+		func(int) float64 { return proteinIndel })
+}

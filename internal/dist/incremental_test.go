@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// almostEqual tolerates float accumulation differences between the direct
+// and incremental/bounded evaluation orders.
+func almostEqual(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) == math.IsInf(b, 1)
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := math.Abs(a) + math.Abs(b)
+	return diff <= 1e-9*(1+scale)
+}
+
+// checkKernelAgainstFn drives the measure's incremental kernel over random
+// byte prefixes and windows, asserting that every Feed result equals
+// Fn(prefix, w), including across Resets (which must preserve the bound
+// window and its preprocessing).
+func checkKernelAgainstFn(t *testing.T, m Measure[byte], alphabet string, maxW, maxQ int) {
+	t.Helper()
+	if m.Incremental == nil {
+		t.Fatalf("%s: no incremental kernel", m.Name)
+	}
+	rng := rand.New(rand.NewPCG(7, uint64(maxW)))
+	for trial := 0; trial < 60; trial++ {
+		w := randBytes(rng, rng.IntN(maxW+1), alphabet)
+		k := m.Incremental(w)
+		for pass := 0; pass < 3; pass++ {
+			q := randBytes(rng, 1+rng.IntN(maxQ), alphabet)
+			for n := 1; n <= len(q); n++ {
+				got := k.Feed(q[n-1])
+				want := m.Fn(q[:n], w)
+				if !almostEqual(got, want) {
+					t.Fatalf("%s trial %d pass %d: kernel(%q[:%d], %q) = %v, Fn = %v",
+						m.Name, trial, pass, q, n, w, got, want)
+				}
+			}
+			k.Reset()
+		}
+	}
+}
+
+func TestIncrementalKernelsMatchFn(t *testing.T) {
+	aa := "ACDEFGHIKLMNPQRSTVWY"
+	byteGround := func(a, b byte) float64 { return math.Abs(float64(a) - float64(b)) }
+	cases := []struct {
+		m          Measure[byte]
+		maxW, maxQ int
+	}{
+		{LevenshteinMeasure[byte](), 24, 30},
+		{LevenshteinFastMeasure(), 24, 30},
+		{LevenshteinFastMeasure(), 90, 110},  // block-kernel path
+		{LevenshteinFastMeasure(), 150, 170}, // deep multi-word kernel
+		{ProteinEditMeasure(), 24, 30},
+		{ERPMeasure(byteGround, 'G'), 18, 24},
+		{EuclideanMeasure(byteGround), 20, 26},
+		{HammingMeasure[byte](), 20, 26},
+	}
+	for _, c := range cases {
+		checkKernelAgainstFn(t, c.m, aa, c.maxW, c.maxQ)
+	}
+}
+
+// The bounded evaluation must return the exact distance at or under eps and
+// anything strictly greater than eps otherwise, for every measure that
+// claims the capability.
+func TestBoundedMatchesFn(t *testing.T) {
+	aa := "ACDEFGHIKLMNPQRSTVWY"
+	byteGround := func(a, b byte) float64 { return math.Abs(float64(a) - float64(b)) }
+	measures := []Measure[byte]{
+		LevenshteinMeasure[byte](),
+		LevenshteinFastMeasure(),
+		ProteinEditMeasure(),
+		ERPMeasure(byteGround, 'G'),
+		EuclideanMeasure(byteGround),
+		HammingMeasure[byte](),
+		DiscreteFrechetMeasure(byteGround),
+		DTWMeasure(byteGround),
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, m := range measures {
+		if m.Bounded == nil {
+			t.Fatalf("%s: no bounded evaluation", m.Name)
+		}
+		for trial := 0; trial < 400; trial++ {
+			na := rng.IntN(40)
+			nb := na
+			if !m.Props.LockStep {
+				nb = rng.IntN(40)
+			}
+			a := randBytes(rng, na, aa)
+			b := randBytes(rng, nb, aa)
+			want := m.Fn(a, b)
+			var eps float64
+			switch rng.IntN(3) {
+			case 0:
+				eps = want * (0.5 + rng.Float64()) // straddles the true value
+			case 1:
+				eps = rng.Float64() * 10
+			default:
+				eps = want
+			}
+			if math.IsInf(want, 1) {
+				eps = rng.Float64() * 100
+			}
+			got := m.Bounded(a, b, eps)
+			if want <= eps {
+				if !almostEqual(got, want) {
+					t.Fatalf("%s trial %d: Bounded(%q,%q,eps=%v) = %v, want exact %v",
+						m.Name, trial, a, b, eps, got, want)
+				}
+			} else if got <= eps {
+				t.Fatalf("%s trial %d: Bounded(%q,%q,eps=%v) = %v ≤ eps but true distance %v > eps",
+					m.Name, trial, a, b, eps, got, want)
+			}
+		}
+	}
+}
+
+// Bounded with an infinite radius must degenerate to the exact distance —
+// the configuration the linear-scan filter uses when callers pass huge
+// radii.
+func TestBoundedUnboundedRadiusIsExact(t *testing.T) {
+	aa := "ACDEFGHIKLMNPQRSTVWY"
+	rng := rand.New(rand.NewPCG(17, 19))
+	m := LevenshteinMeasure[byte]()
+	for trial := 0; trial < 100; trial++ {
+		a := randBytes(rng, rng.IntN(50), aa)
+		b := randBytes(rng, rng.IntN(50), aa)
+		if got, want := m.Bounded(a, b, math.Inf(1)), m.Fn(a, b); got != want {
+			t.Fatalf("trial %d: Bounded(inf) = %v, Fn = %v", trial, got, want)
+		}
+	}
+}

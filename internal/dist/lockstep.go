@@ -29,12 +29,15 @@ func Euclidean[E any](g Ground[E]) Func[E] {
 }
 
 // EuclideanMeasure is Euclidean bundled with its properties: a consistent
-// lock-step metric.
+// lock-step metric with a rolling incremental kernel and squared-sum early
+// abandoning.
 func EuclideanMeasure[E any](g Ground[E]) Measure[E] {
 	return Measure[E]{
-		Name:  "euclidean",
-		Fn:    Euclidean(g),
-		Props: Properties{Consistent: true, Metric: true, LockStep: true},
+		Name:        "euclidean",
+		Fn:          Euclidean(g),
+		Props:       Properties{Consistent: true, Metric: true, LockStep: true},
+		Incremental: func(w []E) Kernel[E] { return &euclideanKernel[E]{g: g, w: w} },
+		Bounded:     euclideanBounded(g),
 	}
 }
 
@@ -53,11 +56,14 @@ func Hamming[E comparable](a, b []E) float64 {
 }
 
 // HammingMeasure is Hamming bundled with its properties: a consistent
-// lock-step metric.
+// lock-step metric with a rolling incremental kernel and mismatch-count
+// early abandoning.
 func HammingMeasure[E comparable]() Measure[E] {
 	return Measure[E]{
-		Name:  "hamming",
-		Fn:    Hamming[E],
-		Props: Properties{Consistent: true, Metric: true, LockStep: true},
+		Name:        "hamming",
+		Fn:          Hamming[E],
+		Props:       Properties{Consistent: true, Metric: true, LockStep: true},
+		Incremental: func(w []E) Kernel[E] { return &hammingKernel[E]{w: w} },
+		Bounded:     hammingBounded[E],
 	}
 }

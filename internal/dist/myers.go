@@ -1,13 +1,19 @@
 package dist
 
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
 // LevenshteinFast computes the byte-string edit distance with Myers'
-// bit-parallel algorithm (Myers, JACM 1999): the DP column is packed into a
-// 64-bit word as vertical delta bit-vectors, advancing a whole column per
+// bit-parallel algorithm (Myers, JACM 1999): the DP column is packed into
+// machine words as vertical delta bit-vectors, advancing a whole column per
 // text character in a handful of word operations. Semantics are identical to
-// LevenshteinBytes / Levenshtein[byte](); the bit-parallel path applies when
-// the shorter string fits a machine word (≤ 64 bytes — every window the
-// framework compares qualifies, the paper uses l = 20), with a transparent
-// fallback to the byte DP beyond that.
+// LevenshteinBytes / Levenshtein[byte](). Patterns up to 64 bytes run in a
+// single word; longer patterns use the block-based (multi-word) variant of
+// Myers §4, which keeps bit-parallel speed — ⌈n/64⌉ word blocks per text
+// character instead of n DP cells — for arbitrarily long inputs.
 func LevenshteinFast(a, b []byte) float64 {
 	// The pattern (bit-packed side) is the shorter string.
 	if len(a) > len(b) {
@@ -17,7 +23,7 @@ func LevenshteinFast(a, b []byte) float64 {
 		return float64(len(b))
 	}
 	if len(a) > 64 {
-		return LevenshteinBytes(a, b)
+		return float64(myersBlock(a, b))
 	}
 	return float64(myers64(a, b))
 }
@@ -55,12 +61,277 @@ func myers64(a, b []byte) int {
 	return score
 }
 
+// blockScratch is the reusable working set of the multi-word recurrence:
+// the per-character Eq masks (256×W words, kept all-zero between uses) and
+// the delta/carry vectors. Pooled because the filter evaluates the distance
+// once per segment↔window pair.
+type blockScratch struct {
+	peq        []uint64 // 256*w words, zeroed on return to the pool
+	pv, mv, xh []uint64
+}
+
+var blockPool = sync.Pool{New: func() any { return &blockScratch{} }}
+
+// grow sizes the scratch for pattern word count w. peq is lazily grown and
+// relies on the pool invariant that it is all-zero.
+func (s *blockScratch) grow(w int) {
+	if cap(s.pv) < w {
+		s.pv = make([]uint64, w)
+		s.mv = make([]uint64, w)
+		s.xh = make([]uint64, w)
+	}
+	s.pv, s.mv, s.xh = s.pv[:w], s.mv[:w], s.xh[:w]
+	if len(s.peq) < 256*w {
+		s.peq = make([]uint64, 256*w)
+	}
+}
+
+// myersBlock is the block-based (multi-word) Myers recurrence for patterns
+// longer than 64 bytes. It is the single-word recurrence evaluated on
+// ⌈len(a)/64⌉-word bit-vectors: the only cross-word interactions are the
+// carry of the match-propagating addition in Xh and the left shift of the
+// horizontal deltas, both threaded explicitly through the block loop.
+// Garbage bits above the pattern length in the last word never influence
+// lower bits (addition carries and shifts propagate strictly upward), so the
+// score bit at position len(a)−1 stays exact.
+func myersBlock(a, b []byte) int {
+	w := (len(a) + 63) >> 6
+	s := blockPool.Get().(*blockScratch)
+	s.grow(w)
+	peq, pv, mv, xh := s.peq, s.pv, s.mv, s.xh
+	for i, c := range a {
+		peq[int(c)*w+(i>>6)] |= 1 << uint(i&63)
+	}
+	for k := 0; k < w; k++ {
+		pv[k] = ^uint64(0)
+		mv[k] = 0
+	}
+	score := len(a)
+	lastWord := w - 1
+	lastBit := uint64(1) << uint((len(a)-1)&63)
+	for _, c := range b {
+		row := peq[int(c)*w : int(c)*w+w]
+		// Pass 1: Xh = (((Eq & Pv) + Pv) ^ Pv) | Eq with the addition carry
+		// rippling across words.
+		var carry uint64
+		for k := 0; k < w; k++ {
+			sum, c2 := bits.Add64(row[k]&pv[k], pv[k], carry)
+			carry = c2
+			xh[k] = (sum ^ pv[k]) | row[k]
+		}
+		// Pass 2: horizontal deltas, score update at the pattern's last row,
+		// one-bit left shift across words (the +1 boundary enters at the
+		// bottom), and the new vertical deltas.
+		phCarry, mhCarry := uint64(1), uint64(0)
+		for k := 0; k < w; k++ {
+			xv := row[k] | mv[k]
+			ph := mv[k] | ^(xh[k] | pv[k])
+			mh := pv[k] & xh[k]
+			if k == lastWord {
+				if ph&lastBit != 0 {
+					score++
+				} else if mh&lastBit != 0 {
+					score--
+				}
+			}
+			phs := ph<<1 | phCarry
+			mhs := mh<<1 | mhCarry
+			phCarry, mhCarry = ph>>63, mh>>63
+			pv[k] = mhs | ^(xv | phs)
+			mv[k] = phs & xv
+		}
+	}
+	for _, c := range a {
+		for k := 0; k < w; k++ {
+			peq[int(c)*w+k] = 0
+		}
+	}
+	blockPool.Put(s)
+	return score
+}
+
+// levenshteinFastBounded is LevenshteinFast with early abandoning: the
+// bottom-row score can drop by at most 1 per remaining text character, so
+// once score − remaining exceeds eps no completion can come back under it.
+func levenshteinFastBounded(a, b []byte, eps float64) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	diff := len(b) - len(a)
+	if float64(diff) > eps {
+		return float64(diff)
+	}
+	if len(a) == 0 {
+		return float64(len(b))
+	}
+	if len(a) > 64 {
+		// The block path is already fast; banding it is future work.
+		return float64(myersBlock(a, b))
+	}
+	var peq [256]uint64
+	for i, c := range a {
+		peq[c] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := len(a)
+	last := uint64(1) << uint(len(a)-1)
+	for j, c := range b {
+		eq := peq[c]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if remaining := len(b) - j - 1; float64(score-remaining) > eps {
+			return math.Inf(1)
+		}
+	}
+	return float64(score)
+}
+
+// myersKernel64 is the incremental form of the single-word recurrence: the
+// pattern (the database window, ≤ 64 bytes) is bit-packed once at
+// construction; each Feed advances the column by one query element and
+// returns the current bottom-row score — d(fed prefix, w). Reset rewinds to
+// the empty prefix without re-packing the pattern.
+type myersKernel64 struct {
+	peq    [256]uint64
+	last   uint64
+	m      int
+	pv, mv uint64
+	score  int
+}
+
+func newMyersKernel64(w []byte) *myersKernel64 {
+	k := &myersKernel64{m: len(w), last: 1 << uint(len(w)-1)}
+	for i, c := range w {
+		k.peq[c] |= 1 << uint(i)
+	}
+	k.Reset()
+	return k
+}
+
+func (k *myersKernel64) Feed(c byte) float64 {
+	eq := k.peq[c]
+	xv := eq | k.mv
+	xh := (((eq & k.pv) + k.pv) ^ k.pv) | eq
+	ph := k.mv | ^(xh | k.pv)
+	mh := k.pv & xh
+	if ph&k.last != 0 {
+		k.score++
+	} else if mh&k.last != 0 {
+		k.score--
+	}
+	ph = ph<<1 | 1
+	mh <<= 1
+	k.pv = mh | ^(xv | ph)
+	k.mv = ph & xv
+	return float64(k.score)
+}
+
+func (k *myersKernel64) Reset() {
+	k.pv = ^uint64(0)
+	k.mv = 0
+	k.score = k.m
+}
+
+// myersKernelBlock is the incremental multi-word kernel for windows longer
+// than 64 bytes. Unlike myersBlock it owns its scratch (kernels are reused
+// across many Reset/Feed cycles, so pooling would buy nothing).
+type myersKernelBlock struct {
+	peq     []uint64
+	pv, mv  []uint64
+	xh      []uint64
+	w       int
+	m       int
+	lastBit uint64
+	score   int
+}
+
+func newMyersKernelBlock(pattern []byte) *myersKernelBlock {
+	w := (len(pattern) + 63) >> 6
+	k := &myersKernelBlock{
+		peq: make([]uint64, 256*w),
+		pv:  make([]uint64, w), mv: make([]uint64, w), xh: make([]uint64, w),
+		w: w, m: len(pattern),
+		lastBit: 1 << uint((len(pattern)-1)&63),
+	}
+	for i, c := range pattern {
+		k.peq[int(c)*w+(i>>6)] |= 1 << uint(i&63)
+	}
+	k.Reset()
+	return k
+}
+
+func (k *myersKernelBlock) Feed(c byte) float64 {
+	w := k.w
+	row := k.peq[int(c)*w : int(c)*w+w]
+	var carry uint64
+	for i := 0; i < w; i++ {
+		sum, c2 := bits.Add64(row[i]&k.pv[i], k.pv[i], carry)
+		carry = c2
+		k.xh[i] = (sum ^ k.pv[i]) | row[i]
+	}
+	phCarry, mhCarry := uint64(1), uint64(0)
+	for i := 0; i < w; i++ {
+		xv := row[i] | k.mv[i]
+		ph := k.mv[i] | ^(k.xh[i] | k.pv[i])
+		mh := k.pv[i] & k.xh[i]
+		if i == w-1 {
+			if ph&k.lastBit != 0 {
+				k.score++
+			} else if mh&k.lastBit != 0 {
+				k.score--
+			}
+		}
+		phs := ph<<1 | phCarry
+		mhs := mh<<1 | mhCarry
+		phCarry, mhCarry = ph>>63, mh>>63
+		k.pv[i] = mhs | ^(xv | phs)
+		k.mv[i] = phs & xv
+	}
+	return float64(k.score)
+}
+
+func (k *myersKernelBlock) Reset() {
+	for i := range k.pv {
+		k.pv[i] = ^uint64(0)
+		k.mv[i] = 0
+	}
+	k.score = k.m
+}
+
+// myersKernel returns the incremental Levenshtein kernel bound to window w,
+// choosing the single-word or block form by pattern length.
+func myersKernel(w []byte) Kernel[byte] {
+	switch {
+	case len(w) == 0:
+		return levenshteinKernel(w)
+	case len(w) <= 64:
+		return newMyersKernel64(w)
+	default:
+		return newMyersKernelBlock(w)
+	}
+}
+
 // LevenshteinFastMeasure is LevenshteinFast bundled with the Levenshtein
-// properties (same function, faster evaluation): a consistent metric.
+// properties (same function, faster evaluation): a consistent metric, with
+// the bit-parallel incremental kernel and score-slack early abandoning.
 func LevenshteinFastMeasure() Measure[byte] {
 	return Measure[byte]{
-		Name:  "levenshtein-fast",
-		Fn:    LevenshteinFast,
-		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Name:        "levenshtein-fast",
+		Fn:          LevenshteinFast,
+		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
+		Incremental: myersKernel,
+		Bounded:     levenshteinFastBounded,
 	}
 }

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// The block-based (multi-word) Myers path must agree exactly with the byte
+// DP on 1000 random pairs whose lengths straddle the 64- and 128-byte word
+// boundaries — the carry hand-offs between words are exercised only there.
+func TestMyersBlockMatchesByteDPOn1000Pairs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(128, 128))
+	randLen := func() int {
+		switch rng.IntN(5) {
+		case 0: // first word boundary
+			return 62 + rng.IntN(6) // 62..67
+		case 1: // second word boundary
+			return 126 + rng.IntN(6) // 126..131
+		case 2: // deep multi-word
+			return 150 + rng.IntN(120)
+		default:
+			return 65 + rng.IntN(80)
+		}
+	}
+	alphabets := []string{"AB", "ACDEFGHIKLMNPQRSTVWY", "abcdefghijklmnopqrstuvwxyz0123456789"}
+	for trial := 0; trial < 1000; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		a := randBytes(rng, randLen(), alpha)
+		b := randBytes(rng, randLen(), alpha)
+		want := LevenshteinBytes(a, b)
+		if got := LevenshteinFast(a, b); got != want {
+			t.Fatalf("trial %d (len %d vs %d): LevenshteinFast = %v, byte DP = %v",
+				trial, len(a), len(b), got, want)
+		}
+	}
+}
+
+// myersBlock must agree with the single-word path where both apply, and
+// handle the exact boundary widths (64, 65, 127, 128, 129) with pinned
+// cases: identical strings, one edit, disjoint alphabets.
+func TestMyersBlockWordBoundaries(t *testing.T) {
+	for _, m := range []int{64, 65, 127, 128, 129, 200} {
+		a := make([]byte, m)
+		for i := range a {
+			a[i] = 'A' + byte(i%7)
+		}
+		if d := myersBlock(a, a); d != 0 {
+			t.Errorf("m=%d: identical = %d", m, d)
+		}
+		b := append([]byte(nil), a...)
+		b[m-1] = '!'
+		if d := myersBlock(a, b); d != 1 {
+			t.Errorf("m=%d: last-byte substitution = %d", m, d)
+		}
+		b[0] = '?'
+		if d := myersBlock(a, b); d != 2 {
+			t.Errorf("m=%d: first+last substitution = %d", m, d)
+		}
+		z := make([]byte, m)
+		for i := range z {
+			z[i] = 'z'
+		}
+		if d := myersBlock(a, z); d != m {
+			t.Errorf("m=%d: disjoint = %d, want %d", m, d, m)
+		}
+		if d := myersBlock(a, a[:m/2]); d != m-m/2 {
+			t.Errorf("m=%d: prefix text = %d, want %d", m, d, m-m/2)
+		}
+	}
+	// 65..130 pattern against 64-word text: both orders through the public
+	// entry point, which picks the shorter side as the pattern.
+	rng := rand.New(rand.NewPCG(129, 129))
+	for m := 65; m <= 130; m++ {
+		a := randBytes(rng, m, "ACGT")
+		b := randBytes(rng, 64, "ACGT")
+		want := LevenshteinBytes(a, b)
+		if got := LevenshteinFast(a, b); got != want {
+			t.Fatalf("m=%d: fast=%v dp=%v", m, got, want)
+		}
+		if got := LevenshteinFast(b, a); got != want {
+			t.Fatalf("m=%d swapped: fast=%v dp=%v", m, got, want)
+		}
+	}
+}
+
+// The pooled scratch must come back clean: interleave patterns with
+// overlapping alphabets so a stale peq entry from one call would corrupt
+// the next.
+func TestMyersBlockScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(130, 130))
+	for trial := 0; trial < 200; trial++ {
+		a := randBytes(rng, 65+rng.IntN(130), "ABCab")
+		b := randBytes(rng, rng.IntN(200), "ABCab")
+		if got, want := float64(myersBlock(a, b)), LevenshteinBytes(a, b); got != want {
+			t.Fatalf("trial %d: block=%v dp=%v", trial, got, want)
+		}
+	}
+}

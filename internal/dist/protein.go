@@ -85,11 +85,15 @@ func ProteinEdit(a, b []byte) float64 {
 }
 
 // ProteinEditMeasure is ProteinEdit bundled with its properties: a
-// consistent metric, accepted by every index backend.
+// consistent metric, accepted by every index backend, with the row-reuse
+// incremental kernel and the banded bounded evaluation (indels cost a
+// constant, so the Ukkonen band applies).
 func ProteinEditMeasure() Measure[byte] {
 	return Measure[byte]{
-		Name:  "protein-edit",
-		Fn:    ProteinEdit,
-		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Name:        "protein-edit",
+		Fn:          ProteinEdit,
+		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
+		Incremental: proteinKernel,
+		Bounded:     proteinBounded,
 	}
 }

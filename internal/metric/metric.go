@@ -5,13 +5,59 @@
 // percentage of distance computations relative to a full scan).
 package metric
 
-import "sync/atomic"
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// Tally is a cache-friendly concurrent event counter: increments scatter
+// across padded cells (picked by the runtime's per-core cheap RNG) so the
+// hot query paths of concurrent workers do not ping-pong a single cache
+// line, and Load folds the cells. Counts are exact; only their cell
+// placement is randomised.
+type Tally struct {
+	cells [tallyCells]paddedInt64
+}
+
+const tallyCells = 8
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add adds n to the tally.
+func (t *Tally) Add(n int64) { t.cells[rand.Uint64()%tallyCells].v.Add(n) }
+
+// Load returns the current total.
+func (t *Tally) Load() int64 {
+	var sum int64
+	for i := range t.cells {
+		sum += t.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Reset zeroes the tally.
+func (t *Tally) Reset() {
+	for i := range t.cells {
+		t.cells[i].v.Store(0)
+	}
+}
 
 // DistFunc measures the dissimilarity of two items. Index structures
 // require it to be a metric: non-negative, zero on identical items,
 // symmetric, and obeying the triangle inequality (Section 3.3 of the
 // paper); correctness of index pruning depends on it.
 type DistFunc[T any] func(a, b T) float64
+
+// BoundedDistFunc is an early-abandoning distance evaluation: exact
+// whenever the true distance is ≤ eps, and otherwise any value strictly
+// greater than eps, returned as soon as the bound is provably exceeded
+// (mirroring dist.BoundedFunc at the item level). Range filtering only
+// compares the result against eps, so the relaxation never changes which
+// items a query returns.
+type BoundedDistFunc[T any] func(a, b T, eps float64) float64
 
 // Index is the operation set the subsequence-retrieval framework needs
 // from a metric index: incremental construction and range queries.
@@ -25,11 +71,12 @@ type Index[T any] interface {
 }
 
 // Counter wraps a DistFunc and counts invocations. It is safe for
-// concurrent use; the count is the paper's hardware-independent cost
-// measure for query evaluation.
+// concurrent use (counts stripe across a Tally, so concurrent queries do
+// not contend); the count is the paper's hardware-independent cost measure
+// for query evaluation.
 type Counter[T any] struct {
 	fn    DistFunc[T]
-	calls atomic.Int64
+	calls Tally
 }
 
 // NewCounter returns a Counter wrapping fn.
@@ -47,15 +94,34 @@ func (c *Counter[T]) Distance(a, b T) float64 {
 func (c *Counter[T]) Calls() int64 { return c.calls.Load() }
 
 // Reset zeroes the call count.
-func (c *Counter[T]) Reset() { c.calls.Store(0) }
+func (c *Counter[T]) Reset() { c.calls.Reset() }
+
+// Add bumps the count by n directly. The incremental filter kernels use it
+// to account for evaluations that bypass the wrapped function (one kernel
+// pass subsumes several plain distance calls; the caller decides the
+// equivalence).
+func (c *Counter[T]) Add(n int64) { c.calls.Add(n) }
+
+// CountBounded wraps a bounded distance so each call increments the same
+// counter as Distance — an early-abandoned evaluation still counts as one
+// distance computation in the paper's accounting.
+func (c *Counter[T]) CountBounded(fn BoundedDistFunc[T]) BoundedDistFunc[T] {
+	return func(a, b T, eps float64) float64 {
+		c.calls.Add(1)
+		return fn(a, b, eps)
+	}
+}
 
 // LinearScan is the naive baseline index: it stores items in a slice and
 // answers range queries by computing the distance to every item. The
 // percentage figures in the paper's Figures 8–11 are relative to exactly
-// this strategy.
+// this strategy. SetBounded arms an early-abandoning evaluation that
+// threads the query radius into each comparison, cutting the constant
+// behind the same number of "distance computations".
 type LinearScan[T any] struct {
-	dist  DistFunc[T]
-	items []T
+	dist    DistFunc[T]
+	bounded BoundedDistFunc[T]
+	items   []T
 }
 
 // NewLinearScan returns an empty linear-scan "index" using dist.
@@ -63,21 +129,50 @@ func NewLinearScan[T any](dist DistFunc[T]) *LinearScan[T] {
 	return &LinearScan[T]{dist: dist}
 }
 
+// SetBounded arms the early-abandoning evaluation used by Range and Exists.
+// fn must agree with the scan's DistFunc under the BoundedDistFunc
+// contract; nil disarms it.
+func (s *LinearScan[T]) SetBounded(fn BoundedDistFunc[T]) { s.bounded = fn }
+
 // Insert appends the item.
 func (s *LinearScan[T]) Insert(item T) { s.items = append(s.items, item) }
 
 // Len reports the number of stored items.
 func (s *LinearScan[T]) Len() int { return len(s.items) }
 
-// Range returns all items within eps of q, computing len(items) distances.
+// Range returns all items within eps of q, computing len(items) distances
+// (early-abandoned ones when a bounded evaluation is armed).
 func (s *LinearScan[T]) Range(q T, eps float64) []T {
 	var out []T
+	if s.bounded != nil {
+		for _, it := range s.items {
+			if s.bounded(q, it, eps) <= eps {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
 	for _, it := range s.items {
 		if s.dist(q, it) <= eps {
 			out = append(out, it)
 		}
 	}
 	return out
+}
+
+// Exists reports whether any item lies within eps of q, stopping at the
+// first hit instead of scanning the rest.
+func (s *LinearScan[T]) Exists(q T, eps float64) bool {
+	for _, it := range s.items {
+		if s.bounded != nil {
+			if s.bounded(q, it, eps) <= eps {
+				return true
+			}
+		} else if s.dist(q, it) <= eps {
+			return true
+		}
+	}
+	return false
 }
 
 // Items exposes the stored items (shared slice; callers must not mutate).

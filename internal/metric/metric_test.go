@@ -86,3 +86,57 @@ func TestLinearScanComputesExactlyNDistances(t *testing.T) {
 		t.Errorf("linear scan made %d distance calls, want 50", c.Calls())
 	}
 }
+
+// A bounded evaluation must not change which items Range returns, must be
+// consulted with the query radius, and Exists must stop at the first hit.
+func TestLinearScanBoundedAndExists(t *testing.T) {
+	plain := NewLinearScan(DistFunc[float64](func(a, b float64) float64 { return math.Abs(a - b) }))
+	armed := NewLinearScan(DistFunc[float64](func(a, b float64) float64 { return math.Abs(a - b) }))
+	evals := 0
+	armed.SetBounded(func(a, b, eps float64) float64 {
+		evals++
+		if d := math.Abs(a - b); d <= eps {
+			return d
+		}
+		return eps + 1 // early-abandon stand-in
+	})
+	for i := 0; i < 50; i++ {
+		plain.Insert(float64(i))
+		armed.Insert(float64(i))
+	}
+	for _, eps := range []float64{0, 1.5, 7, 100} {
+		got, want := armed.Range(25.2, eps), plain.Range(25.2, eps)
+		if len(got) != len(want) {
+			t.Fatalf("eps=%v: bounded Range %d items, plain %d", eps, len(got), len(want))
+		}
+		if armed.Exists(25.2, eps) != (len(want) > 0) {
+			t.Fatalf("eps=%v: Exists disagrees with Range", eps)
+		}
+	}
+	if evals == 0 {
+		t.Fatal("bounded evaluation never consulted")
+	}
+	evals = 0
+	if !armed.Exists(0, 1000) {
+		t.Fatal("Exists missed")
+	}
+	if evals != 1 {
+		t.Fatalf("Exists computed %d distances, want 1 (first item is in range)", evals)
+	}
+}
+
+// CountBounded and Add must feed the same counter as Distance.
+func TestCounterBoundedAndAdd(t *testing.T) {
+	c := NewCounter(DistFunc[int](func(a, b int) float64 { return float64(a - b) }))
+	bounded := c.CountBounded(func(a, b int, eps float64) float64 { return float64(a - b) })
+	c.Distance(3, 1)
+	bounded(5, 2, 10)
+	c.Add(7)
+	if got := c.Calls(); got != 9 {
+		t.Fatalf("Calls = %d, want 9", got)
+	}
+	c.Reset()
+	if got := c.Calls(); got != 0 {
+		t.Fatalf("Calls after Reset = %d", got)
+	}
+}

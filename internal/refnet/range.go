@@ -2,8 +2,8 @@ package refnet
 
 // Range query (Appendix A.3). The traversal maintains, per query, the two
 // certainty sets of the paper — items proven inside the ball and items
-// proven outside — realised here as a decided map plus the result slice,
-// and additionally a map of computed query-to-node distances.
+// proven outside — realised here as a per-node decided flag plus the result
+// stream, and additionally the computed query-to-node distances.
 //
 // For a child c of a node whose distance is known, the triangle inequality
 // through EVERY parent of c with a computed distance gives bounds
@@ -27,8 +27,58 @@ package refnet
 //  4. inconclusive ⇒ report c if dc ≤ ε and recurse into its children.
 //
 // Multi-parent sharing means a node can be reached along several paths;
-// the decided map guarantees each node's membership is settled exactly
+// the decided flag guarantees each node's membership is settled exactly
 // once.
+//
+// Per-query bookkeeping lives in flat slices indexed by the dense node ids
+// assigned at insertion — a query touches each slot with two or three
+// unhashed array accesses where a map would hash a pointer per probe. The
+// slices are pooled on the net, so steady-state queries allocate only their
+// result slice; the same pooled state backs the batched traversal, whose
+// profile was dominated by map operations before the switch.
+
+// decidedBit marks a node whose ball membership is settled for this query;
+// computedBit marks a node whose distance to the query has been computed
+// (and stored in queryState.d).
+const (
+	decidedBit  = 1
+	computedBit = 2
+)
+
+// queryState is the per-query traversal scratch: node flags, computed
+// distances, and the explicit DFS stack, all recycled via Net.qpool.
+type queryState[T any] struct {
+	flags []uint8
+	d     []float64
+	stack []stackEntry[T]
+}
+
+type stackEntry[T any] struct {
+	n *Node[T]
+	d float64
+}
+
+// getState returns a query state sized for the current node-id space with
+// all flags cleared.
+func (t *Net[T]) getState() *queryState[T] {
+	s, _ := t.qpool.Get().(*queryState[T])
+	if s == nil {
+		s = &queryState[T]{}
+	}
+	n := int(t.nextID)
+	if cap(s.flags) < n {
+		s.flags = make([]uint8, n)
+		s.d = make([]float64, n)
+	} else {
+		s.flags = s.flags[:n]
+		s.d = s.d[:n]
+		clear(s.flags)
+	}
+	s.stack = s.stack[:0]
+	return s
+}
+
+func (t *Net[T]) putState(s *queryState[T]) { t.qpool.Put(s) }
 
 // Range returns every item within eps of q (inclusive).
 func (t *Net[T]) Range(q T, eps float64) []T {
@@ -43,26 +93,43 @@ func (t *Net[T]) RangeFunc(q T, eps float64, yield func(T)) {
 	if t.root == nil {
 		return
 	}
+	st := t.getState()
+	t.rangeWith(st, q, eps, func(item T) bool { yield(item); return true })
+	t.putState(st)
+}
+
+// Exists reports whether any item lies within eps of q. It runs the same
+// traversal as Range but stops at the first item proven inside the ball —
+// including a whole subtree certified by rule 2, whose first member
+// terminates the walk without visiting the rest.
+func (t *Net[T]) Exists(q T, eps float64) bool {
+	if t.root == nil {
+		return false
+	}
+	st := t.getState()
+	found := !t.rangeWith(st, q, eps, func(T) bool { return false })
+	t.putState(st)
+	return found
+}
+
+// rangeWith runs the traversal with the given scratch, streaming results to
+// yield; yield returning false stops the walk immediately and makes
+// rangeWith return false.
+func (t *Net[T]) rangeWith(st *queryState[T], q T, eps float64, yield func(T) bool) bool {
 	d := t.dist(q, t.root.item)
-	decided := make(map[*Node[T]]bool, 64)
-	computed := make(map[*Node[T]]float64, 64)
-	decided[t.root] = true
-	computed[t.root] = d
-	if d <= eps {
-		yield(t.root.item)
+	st.flags[t.root.id] = decidedBit | computedBit
+	st.d[t.root.id] = d
+	if d <= eps && !yield(t.root.item) {
+		return false
 	}
-	type entry struct {
-		n *Node[T]
-		d float64
-	}
-	stack := []entry{{t.root, d}}
+	stack := append(st.stack[:0], stackEntry[T]{t.root, d})
 	for len(stack) > 0 {
 		e := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n, d := e.n, e.d
 		for _, ce := range n.children {
 			c := ce.n
-			if decided[c] {
+			if st.flags[c.id]&decidedBit != 0 {
 				continue
 			}
 			rho := t.CoverRadius(c.level)
@@ -74,13 +141,10 @@ func (t *Net[T]) RangeFunc(q T, eps float64, yield func(T)) {
 				hi := d + ce.d
 				// Tighten through every other parent already computed.
 				for _, pe := range c.parents {
-					if pe.n == n {
+					if pe.n == n || st.flags[pe.n.id]&computedBit == 0 {
 						continue
 					}
-					dp, ok := computed[pe.n]
-					if !ok {
-						continue
-					}
+					dp := st.d[pe.n.id]
 					if l := dp - pe.d; l > lo {
 						lo = l
 					} else if -l > lo {
@@ -91,68 +155,84 @@ func (t *Net[T]) RangeFunc(q T, eps float64, yield func(T)) {
 					}
 				}
 				if lo-rho > eps {
-					t.markSubtree(c, decided)
+					t.markSubtree(c, st)
 					continue
 				}
 				if hi+rho <= eps {
-					t.collectSubtree(c, decided, yield)
+					if !t.collectSubtree(c, st, yield) {
+						st.stack = stack
+						return false
+					}
 					continue
 				}
 			}
 			dc := t.dist(q, c.item)
-			computed[c] = dc
+			st.flags[c.id] |= computedBit
+			st.d[c.id] = dc
 			if dc-rho > eps {
-				t.markSubtree(c, decided)
+				t.markSubtree(c, st)
 				continue
 			}
 			if dc+rho <= eps {
-				t.collectSubtree(c, decided, yield)
+				if !t.collectSubtree(c, st, yield) {
+					st.stack = stack
+					return false
+				}
 				continue
 			}
-			decided[c] = true
-			if dc <= eps {
-				yield(c.item)
+			st.flags[c.id] |= decidedBit
+			if dc <= eps && !yield(c.item) {
+				st.stack = stack
+				return false
 			}
 			if len(c.children) > 0 {
-				stack = append(stack, entry{c, dc})
+				stack = append(stack, stackEntry[T]{c, dc})
 			}
 		}
 	}
+	st.stack = stack
+	return true
 }
 
 // markSubtree marks c and its multi-parent descendants as decided
 // (outside the ball). Mirroring the Appendix, this prevents re-examining,
 // via another parent, nodes already excluded by a subtree bound. Nodes
 // with a single parent are reachable only through this walk, so skipping
-// their map entries is safe and keeps per-query bookkeeping proportional
-// to the multi-parent population rather than the subtree size.
-func (t *Net[T]) markSubtree(c *Node[T], decided map[*Node[T]]bool) {
+// their flags is safe and keeps per-query bookkeeping proportional to the
+// multi-parent population rather than the subtree size.
+func (t *Net[T]) markSubtree(c *Node[T], st *queryState[T]) {
 	if len(c.parents) > 1 {
-		if decided[c] {
+		if st.flags[c.id]&decidedBit != 0 {
 			return
 		}
-		decided[c] = true
+		st.flags[c.id] |= decidedBit
 	}
 	for _, e := range c.children {
-		t.markSubtree(e.n, decided)
+		t.markSubtree(e.n, st)
 	}
 }
 
 // collectSubtree reports c and all its not-yet-decided descendants as
-// results, with the same single-parent marking optimisation as
-// markSubtree (a single-parent node can be collected only through its one
-// parent, so it cannot be yielded twice).
-func (t *Net[T]) collectSubtree(c *Node[T], decided map[*Node[T]]bool, yield func(T)) {
+// results, with the same single-parent marking optimisation as markSubtree
+// (a single-parent node can be collected only through its one parent, so it
+// cannot be yielded twice). A false return from yield aborts the collection
+// and propagates.
+func (t *Net[T]) collectSubtree(c *Node[T], st *queryState[T], yield func(T) bool) bool {
 	if len(c.parents) > 1 {
-		if decided[c] {
-			return
+		if st.flags[c.id]&decidedBit != 0 {
+			return true
 		}
-		decided[c] = true
+		st.flags[c.id] |= decidedBit
 	}
-	yield(c.item)
+	if !yield(c.item) {
+		return false
+	}
 	for _, e := range c.children {
-		t.collectSubtree(e.n, decided, yield)
+		if !t.collectSubtree(e.n, st, yield) {
+			return false
+		}
 	}
+	return true
 }
 
 // BatchRange answers many range queries with the same radius in a single
@@ -160,27 +240,31 @@ func (t *Net[T]) collectSubtree(c *Node[T], decided map[*Node[T]]bool, yield fun
 // executed at the same time on the index structure in a single traversal").
 // Result i holds the items within eps of qs[i]. The total number of
 // distance computations matches per-query Range calls; the saving is in
-// traversal overhead and locality when the query set is large.
+// traversal overhead — each node's children are walked once for the whole
+// surviving query set rather than once per query — and in locality when the
+// query set is large.
 func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
 	out := make([][]T, len(qs))
 	if t.root == nil || len(qs) == 0 {
 		return out
 	}
-	decided := make([]map[*Node[T]]bool, len(qs))
-	computed := make([]map[*Node[T]]float64, len(qs))
+	states := make([]*queryState[T], len(qs))
+	for i := range qs {
+		states[i] = t.getState()
+	}
 	type qd struct {
-		qi int
+		qi int32
 		d  float64
 	}
 	rootActive := make([]qd, 0, len(qs))
 	for i, q := range qs {
 		d := t.dist(q, t.root.item)
-		decided[i] = map[*Node[T]]bool{t.root: true}
-		computed[i] = map[*Node[T]]float64{t.root: d}
+		states[i].flags[t.root.id] = decidedBit | computedBit
+		states[i].d[t.root.id] = d
 		if d <= eps {
 			out[i] = append(out[i], t.root.item)
 		}
-		rootActive = append(rootActive, qd{i, d})
+		rootActive = append(rootActive, qd{int32(i), d})
 	}
 	type entry struct {
 		n      *Node[T]
@@ -195,7 +279,8 @@ func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
 			rho := t.CoverRadius(c.level)
 			var next []qd
 			for _, a := range e.active {
-				if decided[a.qi][c] {
+				st := states[a.qi]
+				if st.flags[c.id]&decidedBit != 0 {
 					continue
 				}
 				lo := a.d - ce.d
@@ -204,13 +289,10 @@ func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
 				}
 				hi := a.d + ce.d
 				for _, pe := range c.parents {
-					if pe.n == e.n {
+					if pe.n == e.n || st.flags[pe.n.id]&computedBit == 0 {
 						continue
 					}
-					dp, ok := computed[a.qi][pe.n]
-					if !ok {
-						continue
-					}
+					dp := st.d[pe.n.id]
 					if l := dp - pe.d; l > lo {
 						lo = l
 					} else if -l > lo {
@@ -221,28 +303,31 @@ func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
 					}
 				}
 				if lo-rho > eps {
-					t.markSubtree(c, decided[a.qi])
+					t.markSubtree(c, st)
 					continue
 				}
 				if hi+rho <= eps {
-					t.collectSubtree(c, decided[a.qi], func(item T) {
+					t.collectSubtree(c, st, func(item T) bool {
 						out[a.qi] = append(out[a.qi], item)
+						return true
 					})
 					continue
 				}
 				dc := t.dist(qs[a.qi], c.item)
-				computed[a.qi][c] = dc
+				st.flags[c.id] |= computedBit
+				st.d[c.id] = dc
 				if dc-rho > eps {
-					t.markSubtree(c, decided[a.qi])
+					t.markSubtree(c, st)
 					continue
 				}
 				if dc+rho <= eps {
-					t.collectSubtree(c, decided[a.qi], func(item T) {
+					t.collectSubtree(c, st, func(item T) bool {
 						out[a.qi] = append(out[a.qi], item)
+						return true
 					})
 					continue
 				}
-				decided[a.qi][c] = true
+				st.flags[c.id] |= decidedBit
 				if dc <= eps {
 					out[a.qi] = append(out[a.qi], c.item)
 				}
@@ -252,6 +337,9 @@ func (t *Net[T]) BatchRange(qs []T, eps float64) [][]T {
 				stack = append(stack, entry{c, next})
 			}
 		}
+	}
+	for _, st := range states {
+		t.putState(st)
 	}
 	return out
 }

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/metric"
 )
@@ -58,6 +59,14 @@ type Net[T any] struct {
 	noEdgeBounds bool
 	root         *Node[T]
 	size         int
+	// nextID is the next per-node query-state index to hand out. Node ids
+	// are dense on a freshly built or loaded net; deletions leave holes,
+	// which only cost a few unused scratch slots.
+	nextID int32
+	// qpool recycles per-query traversal state (flat slices indexed by node
+	// id) so range queries allocate nothing per visited node. sync.Pool
+	// keeps concurrent read-only queries safe.
+	qpool sync.Pool
 }
 
 // Node is a handle to an item stored in the net, returned by InsertTracked
@@ -65,6 +74,7 @@ type Net[T any] struct {
 type Node[T any] struct {
 	item     T
 	level    int
+	id       int32 // dense index into per-query scratch, assigned at creation
 	children []edge[T]
 	parents  []edge[T] // back-links with the same stored distances
 }
@@ -156,13 +166,20 @@ func (t *Net[T]) Insert(item T) { t.InsertTracked(item) }
 func (t *Net[T]) InsertTracked(item T) *Node[T] {
 	t.size++
 	if t.root == nil {
-		t.root = &Node[T]{item: item, level: 1}
+		t.root = &Node[T]{item: item, level: 1, id: t.newID()}
 		return t.root
 	}
 	level, parents := t.descend(item)
-	n := &Node[T]{item: item, level: level}
+	n := &Node[T]{item: item, level: level, id: t.newID()}
 	t.attach(n, parents)
 	return n
+}
+
+// newID hands out the next query-state index.
+func (t *Net[T]) newID() int32 {
+	id := t.nextID
+	t.nextID++
+	return id
 }
 
 // cand is a frontier entry during descent: a node plus its (already

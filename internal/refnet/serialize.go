@@ -81,8 +81,9 @@ func Load[T any](r io.Reader, dist func(a, b T) float64) (*Net[T], error) {
 	}
 	nodes := make([]*Node[T], len(wire.Items))
 	for i := range nodes {
-		nodes[i] = &Node[T]{item: wire.Items[i], level: wire.Levels[i]}
+		nodes[i] = &Node[T]{item: wire.Items[i], level: wire.Levels[i], id: int32(i)}
 	}
+	t.nextID = int32(len(nodes))
 	for i := range wire.EdgeParent {
 		pi, ci := wire.EdgeParent[i], wire.EdgeChild[i]
 		if pi < 0 || int(pi) >= len(nodes) || ci < 0 || int(ci) >= len(nodes) {

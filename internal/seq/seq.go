@@ -104,22 +104,25 @@ func (s Segment[E]) String() string {
 // maxLen = λ/2+λ0. Lengths are clamped to [1, len(q)]; if the clamped range
 // is empty, Segments returns nil.
 func Segments[E any](q Sequence[E], minLen, maxLen int) []Segment[E] {
+	return AppendSegments(nil, q, minLen, maxLen)
+}
+
+// AppendSegments is Segments appending into dst, so hot paths can reuse a
+// scratch slice across queries instead of allocating per call. It returns
+// the extended slice (which may have been reallocated, as with append).
+func AppendSegments[E any](dst []Segment[E], q Sequence[E], minLen, maxLen int) []Segment[E] {
 	if minLen < 1 {
 		minLen = 1
 	}
 	if maxLen > len(q) {
 		maxLen = len(q)
 	}
-	if minLen > maxLen {
-		return nil
-	}
-	var segs []Segment[E]
 	for length := minLen; length <= maxLen; length++ {
 		for start := 0; start+length <= len(q); start++ {
-			segs = append(segs, Segment[E]{Start: start, Data: q.Sub(start, start+length)})
+			dst = append(dst, Segment[E]{Start: start, Data: q.Sub(start, start+length)})
 		}
 	}
-	return segs
+	return dst
 }
 
 // SegmentsFor returns the query segments mandated by the framework for
@@ -128,4 +131,10 @@ func Segments[E any](q Sequence[E], minLen, maxLen int) []Segment[E] {
 func SegmentsFor[E any](q Sequence[E], lambda, lambda0 int) []Segment[E] {
 	l := lambda / 2
 	return Segments(q, l-lambda0, l+lambda0)
+}
+
+// AppendSegmentsFor is SegmentsFor appending into dst; see AppendSegments.
+func AppendSegmentsFor[E any](dst []Segment[E], q Sequence[E], lambda, lambda0 int) []Segment[E] {
+	l := lambda / 2
+	return AppendSegments(dst, q, l-lambda0, l+lambda0)
 }

@@ -62,9 +62,20 @@ type Ground[E any] = dist.Ground[E]
 // DistanceFunc is a distance between two sequences.
 type DistanceFunc[E any] = dist.Func[E]
 
-// Measure bundles a distance function with its name and properties
-// (metricity, consistency, lock-step).
+// Measure bundles a distance function with its name, properties
+// (metricity, consistency, lock-step) and optional fast-path capabilities
+// (Incremental kernels, Bounded early-abandoning evaluation).
 type Measure[E any] = dist.Measure[E]
+
+// IncrementalKernel is a stateful evaluator of d(·, w) over growing
+// prefixes, the optional Incremental capability of a Measure; the filter
+// uses it to price all segment lengths at a query offset in one pass.
+type IncrementalKernel[E any] = dist.Kernel[E]
+
+// BoundedDistanceFunc is an early-abandoning distance evaluation, the
+// optional Bounded capability of a Measure: exact at or under eps, anything
+// greater than eps otherwise.
+type BoundedDistanceFunc[E any] = dist.BoundedFunc[E]
 
 // Properties describes the assumptions a distance measure satisfies.
 type Properties = dist.Properties
@@ -102,6 +113,20 @@ type Hit[E any] = core.Hit[E]
 
 // NearestOptions tunes Nearest (query Type III).
 type NearestOptions = core.NearestOptions
+
+// QueryPool drives a Matcher from a fixed set of worker goroutines,
+// answering large query batches with multi-core throughput. The sequential
+// batch entry points (Matcher.FindAllBatch, Matcher.LongestBatch,
+// Matcher.FilterHitsBatch) share one index traversal across a query set;
+// the pool fans chunks of a batch out over its workers, composing the two.
+type QueryPool[E any] = core.QueryPool[E]
+
+// NewQueryPool returns a pool of the given concurrency over mt; workers
+// ≤ 0 selects GOMAXPROCS. The pool is stateless between calls and safe for
+// concurrent use.
+func NewQueryPool[E any](mt *Matcher[E], workers int) *QueryPool[E] {
+	return core.NewQueryPool(mt, workers)
+}
 
 // BruteForce answers the three query types exhaustively; it is the
 // correctness oracle and the baseline the framework's filtering replaces.

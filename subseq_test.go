@@ -183,3 +183,45 @@ func TestPublicCoverTreeAndMV(t *testing.T) {
 		t.Errorf("MV Range → %d items, want 5", len(got))
 	}
 }
+
+func TestPublicBatchAndQueryPool(t *testing.T) {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("AAAABBBBCCCCDDDDEEEEFFFF"),
+		subseq.Sequence[byte]("XXXXCCCCDDDDEEEEYYYYZZZZ"),
+	}
+	qs := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("PPPPCCCCDDDDEEEEQQQQ"),
+		subseq.Sequence[byte]("MMMMAAAABBBBCCCCNNNN"),
+		subseq.Sequence[byte]("GGGGHHHHIIIIJJJJKKKK"),
+	}
+	mt, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := mt.FindAllBatch(qs, 1)
+	pool := subseq.NewQueryPool(mt, 4)
+	pooled := pool.FindAll(qs, 1)
+	for i, q := range qs {
+		want := mt.FindAll(q, 1)
+		if len(batch[i]) != len(want) || len(pooled[i]) != len(want) {
+			t.Fatalf("query %d: sequential %d, batch %d, pool %d matches",
+				i, len(want), len(batch[i]), len(pooled[i]))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] || pooled[i][j] != want[j] {
+				t.Fatalf("query %d match %d differs across paths", i, j)
+			}
+		}
+	}
+	if len(batch[0]) == 0 {
+		t.Error("no matches for the planted shared run")
+	}
+	long, found := pool.Longest(qs, 1)
+	if !found[0] || long[0].QLen() < 12 {
+		t.Errorf("pool Longest = (%v, %v), want the ≥12-element run", long[0], found[0])
+	}
+}
