@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke fmt fmt-fix vet check
+.PHONY: all build test test-short bench bench-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -33,7 +33,7 @@ bench-smoke:
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+		echo "gofmt needed on:"; echo "$$out"; gofmt -d $$out; exit 1; fi
 
 fmt-fix:
 	gofmt -w .
@@ -41,4 +41,11 @@ fmt-fix:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test
+# docs-check keeps the documentation honest: every relative markdown link
+# must resolve, and every Example* godoc test must run (and match its
+# Output comment).
+docs-check:
+	$(GO) run ./cmd/mdlinkcheck .
+	$(GO) test -run Example ./...
+
+check: fmt vet build test docs-check

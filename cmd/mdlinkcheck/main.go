@@ -1,0 +1,113 @@
+// Command mdlinkcheck verifies that relative links in the repository's
+// markdown files resolve to existing files, so documentation rot is caught
+// in CI. External links (http, https, mailto) and pure-anchor links are
+// skipped; a relative link's anchor fragment is stripped before the file
+// check.
+//
+// Usage:
+//
+//	mdlinkcheck [root]
+//
+// root defaults to the current directory. Exits non-zero listing every
+// broken link as file:line: target.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Nested brackets and
+// reference-style links are out of scope — the repo's docs use inline
+// links only.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// codeSpanRE matches inline code spans, which may contain bracketed text
+// (generic Go expressions like `Measure[E](name)`) that is not a link.
+var codeSpanRE = regexp.MustCompile("`[^`]*`")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		broken += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the file's broken relative links on stderr and returns
+// their count. Fenced code blocks are skipped: they hold example output,
+// not navigable links.
+func checkFile(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		return 1
+	}
+	defer f.Close()
+	broken := 0
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		text = codeSpanRE.ReplaceAllString(text, "")
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if target == "" ||
+				strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %s\n", path, line, m[1])
+				broken++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		broken++
+	}
+	return broken
+}

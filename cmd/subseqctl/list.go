@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/registry"
+)
+
+// renderList prints the registry: measures with capabilities, backends,
+// datasets, and the measure × backend matrix with every rejection's reason.
+// It is pure over the registry's contents, so `subseqctl list` is golden-
+// testable.
+func renderList(w io.Writer) {
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+
+	fmt.Fprintln(w, "measures (canonical instantiations per element type):")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  NAME\tELEM\tMETRIC\tCONSISTENT\tLOCK-STEP\tINCREMENTAL\tBOUNDED\tDESCRIPTION")
+	for _, m := range registry.Measures() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			m.Name, m.Elem, yn(m.Metric), yn(m.Consistent), yn(m.LockStep),
+			yn(m.Incremental), yn(m.Bounded), m.Description)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nbackends:")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  NAME\tACCEPTS\tDESCRIPTION")
+	for _, b := range registry.Backends() {
+		accepts := "any consistent measure"
+		if b.NeedsMetric {
+			accepts = "metric measures"
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", b.Name, accepts, b.Description)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\ndatasets:")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  NAME\tELEM\tDEFAULT MEASURE\tDESCRIPTION")
+	for _, d := range registry.Datasets() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\n", d.Name, d.Elem, d.DefaultMeasure, d.Description)
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nmeasure × backend (ok = runnable, no = rejected):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprint(tw, "  NAME\tELEM")
+	for _, b := range registry.Backends() {
+		fmt.Fprintf(tw, "\t%s", b.Name)
+	}
+	fmt.Fprintln(tw)
+	type rejection struct{ measure, backend, why string }
+	var rejected []rejection
+	seen := map[string]bool{}
+	for _, m := range registry.Measures() {
+		fmt.Fprintf(tw, "  %s\t%s", m.Name, m.Elem)
+		for _, b := range registry.Backends() {
+			if err := registry.Compatible(m, b); err != nil {
+				fmt.Fprint(tw, "\tno")
+				if key := m.Name + "/" + b.Name; !seen[key] {
+					seen[key] = true
+					rejected = append(rejected, rejection{m.Name, b.Name, err.Error()})
+				}
+			} else {
+				fmt.Fprint(tw, "\tok")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	if len(rejected) > 0 {
+		fmt.Fprintln(w, "\nrejected pairings:")
+		for _, r := range rejected {
+			fmt.Fprintf(w, "  %s × %s: %s\n", r.measure, r.backend, r.why)
+		}
+	}
+}

@@ -1,19 +1,31 @@
 // Command subseqctl is a workbench for the subsequence-retrieval
-// framework: it generates the synthetic datasets, builds window indexes,
-// reports their structure, and runs the three query types.
+// framework: it generates the synthetic datasets, builds window indexes
+// over any registered measure × backend combination, reports index
+// structure, and runs the query types — without recompiling.
 //
 // Usage:
 //
-//	subseqctl stats -dataset proteins -windows 5000
-//	    build a reference net over the dataset's windows and print its
-//	    structural statistics and level histogram.
+//	subseqctl list
+//	    print the registry: every measure with its capabilities, every
+//	    backend, every dataset, and the measure × backend matrix with the
+//	    reason each unsound pairing is rejected.
 //
-//	subseqctl query -dataset songs -windows 2000 -type II -eps 3 -querylen 60
-//	    generate a mutated query from the dataset and run a query:
-//	    -type I (all pairs), II (longest), III (nearest).
+//	subseqctl stats -dataset proteins -measure levenshtein -windows 5000
+//	    build a reference net over the dataset's windows under the chosen
+//	    measure and print its structural statistics and level histogram.
 //
-//	subseqctl distances -dataset traj -windows 2000 -samples 10000
+//	subseqctl query -dataset songs -measure erp -backend covertree \
+//	    -type longest -eps 3 -querylen 60 -queries 16 -workers 4
+//	    generate mutated queries from the dataset and answer them:
+//	    -type findall (I), longest (II), nearest (III) or filter (the
+//	    filtering steps only). With -queries > 1 the batched engine shares
+//	    one index traversal across the query set; with -workers > 1 the
+//	    batch is fanned over a QueryPool's worker goroutines.
+//
+//	subseqctl distances -dataset traj -measure dfd -samples 10000
 //	    print the pairwise window distance distribution.
+//
+// See docs/CLI.md for the full reference.
 package main
 
 import (
@@ -21,12 +33,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/dist"
-	"repro/internal/refnet"
-	"repro/internal/seq"
 	"repro/internal/stats"
+	"repro/registry"
 )
 
 func main() {
@@ -34,6 +42,8 @@ func main() {
 		usage()
 	}
 	switch os.Args[1] {
+	case "list":
+		cmdList(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
 	case "query":
@@ -46,7 +56,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: subseqctl <stats|query|distances> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: subseqctl <list|stats|query|distances> [flags]")
 	os.Exit(2)
 }
 
@@ -55,119 +65,36 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// withDataset dispatches on the dataset name, handing typed windows,
-// measure and matcher-builder to the callback through a small adapter
-// interface (the three datasets have three element types).
-type session interface {
-	numWindows() int
-	netStats() (refnet.Stats, []struct{ Level, Count int })
-	distanceSample(samples int) []float64
-	runQuery(qlen int, mutationRate float64, typ string, eps float64, seed uint64) (string, error)
+// commonFlags declares the flags shared by every dataset-touching
+// subcommand and returns the spec they fill.
+func commonFlags(fs *flag.FlagSet) *registry.SessionSpec {
+	spec := &registry.SessionSpec{}
+	fs.StringVar(&spec.Dataset, "dataset", "proteins", "dataset family (see `subseqctl list`)")
+	fs.StringVar(&spec.Measure, "measure", "", "distance measure; empty selects the dataset's default")
+	fs.StringVar(&spec.Backend, "backend", "refnet", "filter backend: refnet, covertree, mv or linear")
+	fs.IntVar(&spec.Windows, "windows", 2000, "number of database windows to generate")
+	fs.IntVar(&spec.WindowLen, "windowlen", 20, "window length l (matches must span ≥ λ = 2l elements)")
+	fs.IntVar(&spec.Lambda0, "lambda0", 0, "temporal-shift bound λ0; 0 selects the measure default, -1 forces no shift")
+	fs.Uint64Var(&spec.Seed, "seed", 1, "generator seed")
+	return spec
 }
 
-type typedSession[E any] struct {
-	ds      data.Dataset[E]
-	measure dist.Measure[E]
-	mkQuery func(qlen int, rate float64, seed uint64) seq.Sequence[E]
-}
-
-func (s *typedSession[E]) numWindows() int { return len(s.ds.Windows) }
-
-func (s *typedSession[E]) netStats() (refnet.Stats, []struct{ Level, Count int }) {
-	net := refnet.New(func(a, b seq.Window[E]) float64 { return s.measure.Fn(a.Data, b.Data) })
-	for _, w := range s.ds.Windows {
-		net.Insert(w)
-	}
-	return net.Stats(), net.LevelHistogram()
-}
-
-func (s *typedSession[E]) distanceSample(samples int) []float64 {
-	return stats.SampleDistances(s.ds.Windows,
-		func(a, b seq.Window[E]) float64 { return s.measure.Fn(a.Data, b.Data) }, samples, 1)
-}
-
-func (s *typedSession[E]) runQuery(qlen int, rate float64, typ string, eps float64, seed uint64) (string, error) {
-	mt, err := core.NewMatcher(s.measure, core.Config{
-		Params: core.Params{Lambda: 2 * s.ds.WindowLen, Lambda0: 1},
-	}, s.ds.Sequences)
-	if err != nil {
-		return "", err
-	}
-	q := s.mkQuery(qlen, rate, seed)
-	switch typ {
-	case "I":
-		ms := mt.FindAll(q, eps)
-		return fmt.Sprintf("type I: %d similar pairs at eps=%g (filter calls %d, verify calls %d)",
-			len(ms), eps, mt.FilterDistanceCalls(), mt.VerifyDistanceCalls()), nil
-	case "II":
-		m, ok := mt.Longest(q, eps)
-		if !ok {
-			return fmt.Sprintf("type II: no pair within eps=%g", eps), nil
-		}
-		return fmt.Sprintf("type II: longest %v (filter calls %d)", m, mt.FilterDistanceCalls()), nil
-	case "III":
-		m, ok := mt.Nearest(q, core.NearestOptions{EpsMax: eps, EpsInc: eps / 16})
-		if !ok {
-			return fmt.Sprintf("type III: no pair within eps=%g", eps), nil
-		}
-		return fmt.Sprintf("type III: nearest %v (filter calls %d)", m, mt.FilterDistanceCalls()), nil
-	default:
-		return "", fmt.Errorf("unknown query type %q (want I, II or III)", typ)
-	}
-}
-
-func newSession(dataset string, windows int, seed uint64) (session, error) {
-	const wl = 20
-	switch dataset {
-	case "proteins":
-		ds := data.Proteins(windows, wl, seed)
-		return &typedSession[byte]{
-			ds:      ds,
-			measure: dist.LevenshteinFastMeasure(),
-			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[byte] {
-				return data.RandomQuery(ds, qlen, rate, data.MutateAA, s)
-			},
-		}, nil
-	case "songs":
-		ds := data.Songs(windows, wl, seed)
-		return &typedSession[float64]{
-			ds:      ds,
-			measure: dist.DiscreteFrechetMeasure(dist.AbsDiff),
-			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[float64] {
-				return data.RandomQuery(ds, qlen, rate, data.MutatePitch, s)
-			},
-		}, nil
-	case "traj":
-		ds := data.Trajectories(windows, wl, seed)
-		return &typedSession[seq.Point2]{
-			ds:      ds,
-			measure: dist.ERPMeasure(dist.Point2Dist, seq.Point2{}),
-			mkQuery: func(qlen int, rate float64, s uint64) seq.Sequence[seq.Point2] {
-				return data.RandomQuery(ds, qlen, rate, data.MutatePoint, s)
-			},
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want proteins, songs or traj)", dataset)
-	}
-}
-
-func commonFlags(fs *flag.FlagSet) (dataset *string, windows *int, seed *uint64) {
-	dataset = fs.String("dataset", "proteins", "dataset: proteins, songs or traj")
-	windows = fs.Int("windows", 2000, "number of database windows to generate")
-	seed = fs.Uint64("seed", 1, "generator seed")
-	return
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs.Parse(args)
+	renderList(os.Stdout)
 }
 
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	dataset, windows, seed := commonFlags(fs)
+	spec := commonFlags(fs)
 	fs.Parse(args)
-	s, err := newSession(*dataset, *windows, *seed)
+	s, err := newSession(*spec)
 	if err != nil {
 		fail(err)
 	}
 	st, hist := s.netStats()
-	fmt.Printf("dataset=%s windows=%d\n", *dataset, s.numWindows())
+	fmt.Printf("%s\n", s.describe())
 	fmt.Printf("reference net: %v\n", st)
 	fmt.Println("level histogram:")
 	for _, h := range hist {
@@ -177,35 +104,39 @@ func cmdStats(args []string) {
 
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	dataset, windows, seed := commonFlags(fs)
-	typ := fs.String("type", "II", "query type: I, II or III")
-	eps := fs.Float64("eps", 3, "query radius (for III: the maximum radius)")
-	qlen := fs.Int("querylen", 60, "query length")
-	rate := fs.Float64("mutation", 0.1, "query mutation rate")
+	spec := commonFlags(fs)
+	opts := queryOpts{}
+	fs.StringVar(&opts.typ, "type", "longest", "query type: findall (I), longest (II), nearest (III) or filter")
+	fs.Float64Var(&opts.eps, "eps", 3, "query radius (for nearest: the maximum radius)")
+	fs.IntVar(&opts.qlen, "querylen", 60, "query length")
+	fs.Float64Var(&opts.rate, "mutation", 0.1, "query mutation rate")
+	fs.IntVar(&opts.queries, "queries", 1, "number of queries to generate and answer")
+	fs.IntVar(&opts.workers, "workers", 1, "worker goroutines; > 1 answers the batch on a QueryPool")
 	fs.Parse(args)
-	s, err := newSession(*dataset, *windows, *seed)
+	s, err := newSession(*spec)
 	if err != nil {
 		fail(err)
 	}
-	out, err := s.runQuery(*qlen, *rate, *typ, *eps, *seed+100)
+	opts.seed = spec.Seed + 100
+	out, err := s.runQuery(opts)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println(out)
+	fmt.Printf("%s\n%s\n", s.describe(), out)
 }
 
 func cmdDistances(args []string) {
 	fs := flag.NewFlagSet("distances", flag.ExitOnError)
-	dataset, windows, seed := commonFlags(fs)
+	spec := commonFlags(fs)
 	samples := fs.Int("samples", 10000, "number of sampled pairs")
 	fs.Parse(args)
-	s, err := newSession(*dataset, *windows, *seed)
+	s, err := newSession(*spec)
 	if err != nil {
 		fail(err)
 	}
 	sample := s.distanceSample(*samples)
 	sum := stats.Summarize(sample)
-	fmt.Printf("dataset=%s windows=%d %v\n", *dataset, s.numWindows(), sum)
+	fmt.Printf("%s %v\n", s.describe(), sum)
 	h := stats.NewHistogram(sum.Min, sum.Max+1e-9, 24)
 	for _, v := range sample {
 		h.Add(v)

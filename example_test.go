@@ -6,6 +6,72 @@ import (
 	subseq "repro"
 )
 
+// Building a matcher and answering a range query (Type I): every pair of
+// similar subsequences within the radius, reported as (query span,
+// database span, distance).
+func ExampleNewMatcher() {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("XXXXXXXXGREENEGGSANDHAMXXXXXXXXX"),
+	}
+	q := subseq.Sequence[byte]("IDONOTLIKEGREENEGGSANDHAMIAMSAM")
+	matcher, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 12, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		panic(err)
+	}
+	matches := matcher.FindAll(q, 0)
+	longest := matches[0]
+	for _, m := range matches {
+		if m.QLen() > longest.QLen() {
+			longest = m
+		}
+	}
+	fmt.Printf("%d exact pairs; longest %q\n", len(matches), q[longest.QStart:longest.QEnd])
+	// Output: 10 exact pairs; longest "GREENEGGSANDHAM"
+}
+
+// Answering a batch of queries on a worker pool: result i of each pool
+// method is exactly the sequential answer for query i.
+func ExampleNewQueryPool() {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("AAAABBBBCCCCDDDDEEEEFFFF"),
+		subseq.Sequence[byte]("XXXXCCCCDDDDEEEEYYYYZZZZ"),
+	}
+	matcher, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		panic(err)
+	}
+	queries := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("PPPPCCCCDDDDEEEEQQQQ"),
+		subseq.Sequence[byte]("MMMMAAAABBBBCCCCNNNN"),
+	}
+	pool := subseq.NewQueryPool(matcher, 2)
+	matches, found := pool.Longest(queries, 0)
+	for i := range queries {
+		fmt.Printf("query %d: found=%v span=%d\n", i, found[i], matches[i].QLen())
+	}
+	// Output:
+	// query 0: found=true span=12
+	// query 1: found=true span=12
+}
+
+// Recovering an optimal DTW alignment: each coupling pairs one element of
+// the first sequence with one of the second.
+func ExampleDTWAlignment() {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 2, 3}
+	d, alignment := subseq.DTWAlignment(subseq.AbsDiff, a, b)
+	fmt.Printf("distance %g, couplings %v\n", d, alignment)
+	// Output: distance 0, couplings [{0 0} {1 1} {1 2} {2 3}]
+}
+
 // The longest similar subsequence (query Type II): the query and the
 // database sequence disagree globally but share a long local region.
 func ExampleMatcher_longest() {

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 
 	subseq "repro"
+	"repro/registry"
 )
 
 var majorScale = []int{0, 2, 4, 5, 7, 9, 11}
@@ -45,9 +46,15 @@ func main() {
 		db[target][at+j] = v
 	}
 
-	// DFD over pitch classes; λ = 16 (windows of 8), λ0 = 1.
+	// DFD over pitch classes; λ = 16 (windows of 8), λ0 = 1. The registry
+	// resolves "frechet" to the canonical scalar DFD instantiation (ground
+	// distance |a−b|).
+	measure, err := registry.Measure[float64]("frechet")
+	if err != nil {
+		log.Fatal(err)
+	}
 	matcher, err := subseq.NewMatcher(
-		subseq.DiscreteFrechetMeasure(subseq.AbsDiff),
+		measure,
 		subseq.Config{Params: subseq.Params{Lambda: 16, Lambda0: 1}},
 		db,
 	)

@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 
 	subseq "repro"
+	"repro/registry"
 )
 
 const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
@@ -49,9 +50,14 @@ func main() {
 
 	// λ = 20 (windows of 10), λ0 = 2: tolerate a couple of indels of
 	// drift between the matched spans. The fast bit-parallel Levenshtein
-	// is exactly equivalent to the generic one.
+	// is exactly equivalent to the generic one; "myers" is its registry
+	// alias.
+	measure, err := registry.Measure[byte]("myers")
+	if err != nil {
+		log.Fatal(err)
+	}
 	matcher, err := subseq.NewMatcher(
-		subseq.LevenshteinFastMeasure(),
+		measure,
 		subseq.Config{Params: subseq.Params{Lambda: 20, Lambda0: 2}},
 		db,
 	)

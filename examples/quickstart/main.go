@@ -1,6 +1,9 @@
 // Quickstart: find similar subsequences between a query string and a tiny
 // database under the Levenshtein distance, exercising all three query
-// types of the paper (range, longest, nearest).
+// types of the paper (range, longest, nearest). The measure is resolved by
+// name through the registry — swap the string for any measure
+// `subseqctl list` prints (e.g. "weighted-edit", "protein-edit") to rerun
+// the same program under a different distance.
 package main
 
 import (
@@ -8,6 +11,7 @@ import (
 	"log"
 
 	subseq "repro"
+	"repro/registry"
 )
 
 func main() {
@@ -22,8 +26,12 @@ func main() {
 
 	// λ = 8: matches must span at least 8 characters; windows are λ/2 = 4.
 	// λ0 = 1: matched subsequences may differ in length by at most 1.
+	measure, err := registry.Measure[byte]("levenshtein")
+	if err != nil {
+		log.Fatal(err)
+	}
 	matcher, err := subseq.NewMatcher(
-		subseq.LevenshteinMeasure[byte](),
+		measure,
 		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
 		db,
 	)

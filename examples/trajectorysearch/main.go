@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 
 	subseq "repro"
+	"repro/registry"
 )
 
 // drive simulates a noisy trajectory through waypoints, sampled at ~unit
@@ -54,10 +55,15 @@ func main() {
 		)
 	}
 
-	// ERP over planar points with the origin as the gap element; λ = 16
-	// (windows of 8), λ0 = 2.
+	// ERP over planar points; the registry's canonical point2 ERP uses the
+	// planar Euclidean ground distance with the origin as the gap element.
+	// λ = 16 (windows of 8), λ0 = 2.
+	measure, err := registry.Measure[subseq.Point2]("erp")
+	if err != nil {
+		log.Fatal(err)
+	}
 	matcher, err := subseq.NewMatcher(
-		subseq.ERPMeasure(subseq.Point2Dist, subseq.Point2{}),
+		measure,
 		subseq.Config{Params: subseq.Params{Lambda: 16, Lambda0: 2}},
 		db,
 	)
@@ -94,12 +100,21 @@ func main() {
 
 	// Compare against DTW via a linear-scan filter: DTW is consistent but
 	// not a metric, so the framework rejects metric indexes for it and
-	// the linear filter must be requested explicitly.
+	// the linear filter must be requested explicitly — registry.Compatible
+	// is the up-front check subseqctl uses to explain such rejections.
+	dtwMeasure, err := registry.Measure[subseq.Point2]("dtw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	linear, err := registry.Backend("linear")
+	if err != nil {
+		log.Fatal(err)
+	}
 	dtwMatcher, err := subseq.NewMatcher(
-		subseq.DTWMeasure(subseq.Point2Dist),
+		dtwMeasure,
 		subseq.Config{
 			Params: subseq.Params{Lambda: 16, Lambda0: 2},
-			Index:  subseq.IndexLinearScan,
+			Index:  linear.Kind,
 		},
 		db,
 	)

@@ -168,6 +168,16 @@ func (p *QueryPool[E]) run(n int, process func(lo, hi int)) {
 	wg.Wait()
 }
 
+// FilterHits runs the filtering steps for every query; result i is exactly
+// Matcher.FilterHits(qs[i], eps).
+func (p *QueryPool[E]) FilterHits(qs []seq.Sequence[E], eps float64) [][]Hit[E] {
+	out := make([][]Hit[E], len(qs))
+	p.run(len(qs), func(lo, hi int) {
+		copy(out[lo:hi], p.mt.FilterHitsBatch(qs[lo:hi], eps))
+	})
+	return out
+}
+
 // FindAll answers query Type I for every query; result i is exactly
 // Matcher.FindAll(qs[i], eps).
 func (p *QueryPool[E]) FindAll(qs []seq.Sequence[E], eps float64) [][]Match {

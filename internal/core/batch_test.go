@@ -92,6 +92,10 @@ func TestQueryPoolMatchesSequential(t *testing.T) {
 	}
 	wantAll := mt.FindAllBatch(qs, eps)
 	wantLong, wantFound := mt.LongestBatch(qs, eps)
+	wantHits := make([][]Hit[byte], len(qs))
+	for i, q := range qs {
+		wantHits[i] = mt.FilterHits(q, eps)
+	}
 	nopts := NearestOptions{EpsMax: 4, EpsInc: 0.5}
 	wantNear := make([]Match, len(qs))
 	wantNearOK := make([]bool, len(qs))
@@ -103,7 +107,19 @@ func TestQueryPoolMatchesSequential(t *testing.T) {
 		gotAll := pool.FindAll(qs, eps)
 		gotLong, gotFound := pool.Longest(qs, eps)
 		gotNear, gotNearOK := pool.Nearest(qs, nopts)
+		gotHits := pool.FilterHits(qs, eps)
 		for i := range qs {
+			if len(gotHits[i]) != len(wantHits[i]) {
+				t.Fatalf("workers=%d query %d: pool FilterHits %d hits, want %d", workers, i, len(gotHits[i]), len(wantHits[i]))
+			}
+			for j := range wantHits[i] {
+				if gotHits[i][j].Window.SeqID != wantHits[i][j].Window.SeqID ||
+					gotHits[i][j].Window.Start != wantHits[i][j].Window.Start ||
+					gotHits[i][j].Segment.Start != wantHits[i][j].Segment.Start ||
+					gotHits[i][j].Segment.End() != wantHits[i][j].Segment.End() {
+					t.Fatalf("workers=%d query %d hit %d: pool %v, want %v", workers, i, j, gotHits[i][j], wantHits[i][j])
+				}
+			}
 			if len(gotAll[i]) != len(wantAll[i]) {
 				t.Fatalf("workers=%d query %d: pool FindAll %d matches, want %d", workers, i, len(gotAll[i]), len(wantAll[i]))
 			}
@@ -144,6 +160,7 @@ func TestQueryPoolRace(t *testing.T) {
 			if g%2 == 0 {
 				pool := NewQueryPool(mt, 3)
 				for iter := 0; iter < 5; iter++ {
+					pool.FilterHits(qs, eps)
 					got := pool.FindAll(qs, eps)
 					for i := range qs {
 						if len(got[i]) != len(want[i]) {

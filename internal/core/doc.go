@@ -1,0 +1,41 @@
+// Package core implements the paper's subsequence-retrieval framework
+// (Sections 5 and 7): given a database of sequences, a consistent distance
+// measure and the two user parameters λ (minimum match length) and λ0
+// (maximum temporal shift), it answers the three query types — range
+// (Type I, FindAll), longest similar subsequence (Type II, Longest) and
+// nearest neighbour (Type III, Nearest).
+//
+// # Pipeline
+//
+// A Matcher executes the paper's five steps:
+//
+//  1. the database is partitioned into fixed windows of length l = λ/2
+//     (Lemma 2 requires l ≤ λ/2 for the filter to be lossless);
+//  2. the windows are inserted into a metric index (Config.Index selects
+//     the reference net, the cover tree, the MV reference index, or a
+//     linear scan for non-metric measures);
+//  3. every query segment of length λ/2−λ0 … λ/2+λ0 probes the index for
+//     windows within the query radius;
+//  4. surviving segment↔window pairs (Hits) seed candidate regions;
+//  5. candidates are verified by direct distance evaluation (verify.go),
+//     which also de-duplicates and maximises the reported Matches.
+//
+// Construction-time validation (validateMeasure) rejects unsound
+// configurations instead of returning silently wrong answers: the filter
+// is lossless only for consistent measures, metric indexes prune correctly
+// only for metric measures, and lock-step measures require λ0 = 0.
+//
+// # Throughput
+//
+// The filter takes the measure's optional fast paths when present: the
+// Incremental kernel path prices all 2λ0+1 segment lengths at one query
+// offset in a single pass, and Bounded early-abandoning evaluation lets
+// the linear backend stop a distance computation as soon as it provably
+// exceeds the radius. For query sets, FilterHitsBatch / FindAllBatch /
+// LongestBatch share one cache-chunked index traversal across all queries
+// of a batch, and QueryPool fans batch chunks over a fixed set of worker
+// goroutines; a Matcher is safe for concurrent queries.
+//
+// BruteForce answers the same three query types exhaustively; it is the
+// correctness oracle the tests compare every backend against.
+package core

@@ -1,10 +1,3 @@
-// Package core implements the paper's subsequence-retrieval framework
-// (Sections 5 and 7): dataset segmentation into fixed windows, query
-// segmentation, index-backed range filtering of segment↔window pairs,
-// candidate generation, and verification for the three query types —
-// range (Type I), longest similar subsequence (Type II) and nearest
-// neighbour (Type III). A brute-force oracle with identical semantics
-// backs the correctness tests.
 package core
 
 import (

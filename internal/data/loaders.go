@@ -1,0 +1,78 @@
+package data
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// By-name dataset loaders. The generators above are generic in their element
+// type, so naming one with a string (a CLI flag, a config entry) needs a
+// bridge from the name to the concrete instantiation; these functions are
+// that bridge, the dataset counterpart of the measure catalog in
+// internal/dist. Each family has a fixed element type, reported by ElemOf
+// with the same names the catalog uses ("byte", "float64", "point2").
+
+// DatasetNames lists the dataset families, in display order.
+func DatasetNames() []string { return []string{"proteins", "songs", "traj"} }
+
+// ElemOf names the element type of the dataset family, or ok=false for an
+// unknown family.
+func ElemOf(name string) (elem string, ok bool) {
+	switch name {
+	case "proteins":
+		return "byte", true
+	case "songs":
+		return "float64", true
+	case "traj":
+		return "point2", true
+	default:
+		return "", false
+	}
+}
+
+// Generate builds the named dataset at element type E. It fails when the
+// name is unknown or names a family of a different element type.
+func Generate[E any](name string, numWindows, windowLen int, seed uint64) (Dataset[E], error) {
+	var ds Dataset[E]
+	elem, ok := ElemOf(name)
+	if !ok {
+		return ds, fmt.Errorf("data: unknown dataset %q (datasets: proteins, songs, traj)", name)
+	}
+	if want := dist.ElemName[E](); elem != want {
+		return ds, fmt.Errorf("data: dataset %q has element type %s, not %s", name, elem, want)
+	}
+	switch out := any(&ds).(type) {
+	case *Dataset[byte]:
+		*out = Proteins(numWindows, windowLen, seed)
+	case *Dataset[float64]:
+		*out = Songs(numWindows, windowLen, seed)
+	case *Dataset[seq.Point2]:
+		*out = Trajectories(numWindows, windowLen, seed)
+	}
+	return ds, nil
+}
+
+// MutatorFor returns the query point-mutation function of the named dataset
+// family at element type E, for use with RandomQuery.
+func MutatorFor[E any](name string) (func(rng *rand.Rand, e E) E, error) {
+	elem, ok := ElemOf(name)
+	if !ok {
+		return nil, fmt.Errorf("data: unknown dataset %q (datasets: proteins, songs, traj)", name)
+	}
+	if want := dist.ElemName[E](); elem != want {
+		return nil, fmt.Errorf("data: dataset %q has element type %s, not %s", name, elem, want)
+	}
+	var fn any
+	switch elem {
+	case "byte":
+		fn = MutateAA
+	case "float64":
+		fn = MutatePitch
+	case "point2":
+		fn = MutatePoint
+	}
+	return fn.(func(rng *rand.Rand, e E) E), nil
+}

@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// TestCatalogEntriesRoundTrip verifies that every catalog entry is
+// retrievable through the typed lookup at its element type and that the
+// entry's capability bits match the retrieved measure.
+func TestCatalogEntriesRoundTrip(t *testing.T) {
+	cat := Catalog()
+	if len(cat) == 0 {
+		t.Fatal("empty catalog: the measure init registrations did not run")
+	}
+	if !sort.SliceIsSorted(cat, func(i, j int) bool {
+		if cat[i].Name != cat[j].Name {
+			return cat[i].Name < cat[j].Name
+		}
+		return cat[i].Elem < cat[j].Elem
+	}) {
+		t.Error("Catalog() is not sorted by (name, elem)")
+	}
+	for _, e := range cat {
+		if e.Description == "" {
+			t.Errorf("%s/%s: empty description", e.Name, e.Elem)
+		}
+		var m any
+		var ok bool
+		var name string
+		var incr, bound bool
+		switch e.Elem {
+		case "byte":
+			bm, found := Builtin[byte](e.Name)
+			m, ok, name, incr, bound = bm, found, bm.Name, bm.Incremental != nil, bm.Bounded != nil
+		case "float64":
+			fm, found := Builtin[float64](e.Name)
+			m, ok, name, incr, bound = fm, found, fm.Name, fm.Incremental != nil, fm.Bounded != nil
+		case "point2":
+			pm, found := Builtin[seq.Point2](e.Name)
+			m, ok, name, incr, bound = pm, found, pm.Name, pm.Incremental != nil, pm.Bounded != nil
+		default:
+			t.Fatalf("%s/%s: unexpected element type", e.Name, e.Elem)
+		}
+		_ = m
+		if !ok {
+			t.Fatalf("%s/%s: in Catalog() but not retrievable via Builtin", e.Name, e.Elem)
+		}
+		if name != e.Name {
+			t.Errorf("%s/%s: retrieved measure is named %q", e.Name, e.Elem, name)
+		}
+		if incr != e.Incremental || bound != e.Bounded {
+			t.Errorf("%s/%s: capability bits (incr %v, bounded %v) disagree with entry (%v, %v)",
+				e.Name, e.Elem, incr, bound, e.Incremental, e.Bounded)
+		}
+	}
+}
+
+// TestCatalogMisses verifies lookup misses: a registered name at an
+// unregistered element type, and an unregistered name.
+func TestCatalogMisses(t *testing.T) {
+	if _, ok := Builtin[byte]("erp"); ok {
+		t.Error("erp is not registered over byte but Builtin returned it")
+	}
+	if _, ok := Builtin[float64]("no-such-measure"); ok {
+		t.Error("Builtin returned an unregistered name")
+	}
+	if len(CatalogFor("byte")) == 0 || len(CatalogFor("point2")) == 0 {
+		t.Error("CatalogFor returned no entries for a populated element type")
+	}
+}
+
+// TestElemName pins the element-type naming the catalog keys on.
+func TestElemName(t *testing.T) {
+	if got := ElemName[byte](); got != "byte" {
+		t.Errorf("ElemName[byte] = %q", got)
+	}
+	if got := ElemName[float64](); got != "float64" {
+		t.Errorf("ElemName[float64] = %q", got)
+	}
+	if got := ElemName[seq.Point2](); got != "point2" {
+		t.Errorf("ElemName[seq.Point2] = %q", got)
+	}
+	if got := ElemName[int32](); got != "int32" {
+		t.Errorf("ElemName[int32] = %q", got)
+	}
+}

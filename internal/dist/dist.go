@@ -32,6 +32,13 @@
 // panicking. Lock-step distances return +Inf for length-mismatched inputs,
 // which composes safely with both the filter (an infinite distance never
 // falls within a query radius) and the consistency checker.
+//
+// Every built-in measure additionally self-registers its canonical
+// instantiations per element type in the package's catalog (catalog.go), so
+// callers that hold only a string — a CLI flag, a config entry — can
+// resolve it to a typed Measure via Builtin and enumerate the supported
+// matrix via Catalog. The public repro/registry package builds on exactly
+// this surface.
 package dist
 
 import (

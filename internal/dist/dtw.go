@@ -56,6 +56,12 @@ func DTWMeasure[E any](g Ground[E]) Measure[E] {
 	}
 }
 
+func init() {
+	const desc = "dynamic time warping (consistent, not a metric: linear backend only)"
+	RegisterBuiltin(DTWMeasure(AbsDiff), desc)
+	RegisterBuiltin(DTWMeasure(Point2Dist), desc)
+}
+
 // DTWAlignment returns the DTW distance of a and b under g together with an
 // optimal alignment: a monotone sequence of couplings from (0,0) to
 // (len(a)-1, len(b)-1) whose ground distances sum to the returned value.

@@ -107,7 +107,8 @@ func LevenshteinBytes(a, b []byte) float64 {
 // metric on the alphabet and indel is a constant c with sub(a,b) ≤ 2c for
 // all a, b; it is consistent whenever the costs are non-negative (the
 // restriction argument needs nothing more). The caller is responsible for
-// those properties — WeightedEdit returns a bare Func, not a Measure.
+// those properties — WeightedEdit returns a bare Func, not a Measure. For a
+// vetted instance see WeightedEditMeasure.
 func WeightedEdit[E any](sub func(a, b E) float64, indel func(E) float64) Func[E] {
 	return func(a, b []E) float64 {
 		return editDP(len(a), len(b),
@@ -115,4 +116,54 @@ func WeightedEdit[E any](sub func(a, b E) float64, indel func(E) float64) Func[E
 			func(i int) float64 { return indel(a[i]) },
 			func(j int) float64 { return indel(b[j]) })
 	}
+}
+
+const (
+	// weightedEditSub / weightedEditIndel are the costs of the vetted
+	// WeightedEditMeasure instance. sub ≤ 2·indel keeps the distance a
+	// metric (Sellers 1974); sub > indel makes alignments prefer indels
+	// over substitutions, the opposite bias to unit costs.
+	weightedEditSub   = 1.5
+	weightedEditIndel = 1
+)
+
+// weightedSub prices one byte substitution for WeightedEditMeasure.
+func weightedSub(a, b byte) float64 {
+	if a == b {
+		return 0
+	}
+	return weightedEditSub
+}
+
+// WeightedEditMeasure is a vetted WeightedEdit instance over byte strings:
+// mismatches cost 1.5, indels cost 1. The constant indel cost keeps the
+// Ukkonen band applicable, so the measure carries both the row-reuse
+// incremental kernel and the banded bounded evaluation; it is a consistent
+// metric, accepted by every index backend.
+func WeightedEditMeasure() Measure[byte] {
+	return Measure[byte]{
+		Name:  "weighted-edit",
+		Fn:    WeightedEdit[byte](weightedSub, func(byte) float64 { return weightedEditIndel }),
+		Props: Properties{Consistent: true, Metric: true, LockStep: false},
+		Incremental: func(w []byte) Kernel[byte] {
+			return newEditRowKernel(w,
+				func(x byte, j int) float64 { return weightedSub(x, w[j]) },
+				func(byte) float64 { return weightedEditIndel },
+				func(int) float64 { return weightedEditIndel })
+		},
+		Bounded: func(a, b []byte, eps float64) float64 {
+			return boundedEditBand(len(a), len(b),
+				func(i, j int) float64 { return weightedSub(a[i], b[j]) },
+				func(int) float64 { return weightedEditIndel },
+				func(int) float64 { return weightedEditIndel },
+				weightedEditIndel, eps)
+		},
+	}
+}
+
+func init() {
+	const levDesc = "unit-cost edit distance (insert/delete/substitute at 1)"
+	RegisterBuiltin(LevenshteinMeasure[byte](), levDesc)
+	RegisterBuiltin(LevenshteinMeasure[float64](), levDesc)
+	RegisterBuiltin(WeightedEditMeasure(), "weighted edit distance (mismatch 1.5, indel 1)")
 }

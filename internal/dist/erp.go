@@ -1,5 +1,7 @@
 package dist
 
+import "repro/internal/seq"
+
 // ERP returns Edit distance with Real Penalty (Chen & Ng, VLDB 2004) under
 // ground distance g with gap element gap: an edit distance whose
 // substitution cost is g(aᵢ,bⱼ) and whose insertion/deletion cost is the
@@ -49,6 +51,12 @@ func ERPMeasure[E any](g Ground[E], gap E) Measure[E] {
 		Incremental: erpKernel(g, gap),
 		Bounded:     erpBounded(g, gap),
 	}
+}
+
+func init() {
+	const desc = "edit distance with real penalty (warping metric, fixed gap element)"
+	RegisterBuiltin(ERPMeasure(AbsDiff, 0), desc)
+	RegisterBuiltin(ERPMeasure(Point2Dist, seq.Point2{}), desc)
 }
 
 // ERPAlignment returns the ERP distance of a and b together with an optimal

@@ -60,6 +60,12 @@ func DiscreteFrechetMeasure[E any](g Ground[E]) Measure[E] {
 	}
 }
 
+func init() {
+	const desc = "discrete Fréchet distance (max-aggregated warping metric)"
+	RegisterBuiltin(DiscreteFrechetMeasure(AbsDiff), desc)
+	RegisterBuiltin(DiscreteFrechetMeasure(Point2Dist), desc)
+}
+
 // FrechetAlignment returns the discrete Fréchet distance of a and b together
 // with an optimal alignment: a monotone coupling sequence from (0,0) to
 // (len(a)-1, len(b)-1) whose maximum ground distance is the returned value.

@@ -60,6 +60,7 @@ func TestIncrementalKernelsMatchFn(t *testing.T) {
 		{LevenshteinFastMeasure(), 90, 110},  // block-kernel path
 		{LevenshteinFastMeasure(), 150, 170}, // deep multi-word kernel
 		{ProteinEditMeasure(), 24, 30},
+		{WeightedEditMeasure(), 24, 30},
 		{ERPMeasure(byteGround, 'G'), 18, 24},
 		{EuclideanMeasure(byteGround), 20, 26},
 		{HammingMeasure[byte](), 20, 26},
@@ -79,6 +80,7 @@ func TestBoundedMatchesFn(t *testing.T) {
 		LevenshteinMeasure[byte](),
 		LevenshteinFastMeasure(),
 		ProteinEditMeasure(),
+		WeightedEditMeasure(),
 		ERPMeasure(byteGround, 'G'),
 		EuclideanMeasure(byteGround),
 		HammingMeasure[byte](),

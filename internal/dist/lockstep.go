@@ -67,3 +67,12 @@ func HammingMeasure[E comparable]() Measure[E] {
 		Bounded:     hammingBounded[E],
 	}
 }
+
+func init() {
+	const eucDesc = "lock-step L2 distance over equal-length sequences"
+	RegisterBuiltin(EuclideanMeasure(AbsDiff), eucDesc)
+	RegisterBuiltin(EuclideanMeasure(Point2Dist), eucDesc)
+	const hamDesc = "lock-step mismatch count over equal-length sequences"
+	RegisterBuiltin(HammingMeasure[byte](), hamDesc)
+	RegisterBuiltin(HammingMeasure[float64](), hamDesc)
+}

@@ -335,3 +335,8 @@ func LevenshteinFastMeasure() Measure[byte] {
 		Bounded:     levenshteinFastBounded,
 	}
 }
+
+func init() {
+	RegisterBuiltin(LevenshteinFastMeasure(),
+		"unit-cost edit distance via Myers' bit-parallel recurrence")
+}

@@ -41,6 +41,7 @@ func byteSuites() []suite[byte] {
 		{LevenshteinMeasure[byte](), byteGen("ABC")},
 		{LevenshteinFastMeasure(), byteGen("ABC")},
 		{ProteinEditMeasure(), byteGen("ACDEFGHIKLMNPQRSTVWY")},
+		{WeightedEditMeasure(), byteGen("ABC")},
 	}
 }
 
@@ -50,6 +51,8 @@ func floatSuites() []suite[float64] {
 		{DTWMeasure(AbsDiff), floatGen},
 		{ERPMeasure(AbsDiff, 0), floatGen},
 		{DiscreteFrechetMeasure(AbsDiff), floatGen},
+		{HammingMeasure[float64](), floatGen},
+		{LevenshteinMeasure[float64](), floatGen},
 	}
 }
 
@@ -57,6 +60,8 @@ func pointSuites() []suite[seq.Point2] {
 	return []suite[seq.Point2]{
 		{ERPMeasure(Point2Dist, seq.Point2{}), pointGen},
 		{DiscreteFrechetMeasure(Point2Dist), pointGen},
+		{EuclideanMeasure(Point2Dist), pointGen},
+		{DTWMeasure(Point2Dist), pointGen},
 	}
 }
 
@@ -144,6 +149,9 @@ func TestMetricAxiomsAllMetricMeasures(t *testing.T) {
 		t.Run(s.m.Name+"/float64", func(t *testing.T) { checkMetricAxioms(t, s, uint64(200+i)) })
 	}
 	for i, s := range pointSuites() {
+		if !s.m.Props.Metric {
+			continue
+		}
 		t.Run(s.m.Name+"/point2", func(t *testing.T) { checkMetricAxioms(t, s, uint64(300+i)) })
 	}
 }

@@ -97,3 +97,8 @@ func ProteinEditMeasure() Measure[byte] {
 		Bounded:     proteinBounded,
 	}
 }
+
+func init() {
+	RegisterBuiltin(ProteinEditMeasure(),
+		"edit distance with physico-chemical amino-acid substitution costs")
+}

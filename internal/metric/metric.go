@@ -3,6 +3,14 @@
 // naive linear-scan baseline, plus the distance-computation accounting that
 // the paper uses as its primary query-cost metric (Figures 8–11 report the
 // percentage of distance computations relative to a full scan).
+//
+// The central types are DistFunc (a metric distance over items, wrapped by
+// Counter into a distance that tallies its evaluations) and LinearScan,
+// the no-index baseline every backend is measured against; LinearScan also
+// accepts a BoundedDistFunc so that early-abandoning measures stop distance
+// evaluations at the query radius. Tally is the concurrency-friendly
+// counter behind all per-query accounting: increments scatter over padded
+// cells so parallel workers do not serialise on one cache line.
 package metric
 
 import (

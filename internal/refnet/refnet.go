@@ -33,6 +33,15 @@
 // when set; observed below 4 on the paper's datasets). Insertion and range
 // queries compute distances only against the candidate frontier, which for
 // well-spread data is logarithmic in practice.
+//
+// # Query surface
+//
+// Beyond single-probe Range, the net answers Exists (existence-only, stops
+// at the first in-range item — the probe Nearest's radius search issues),
+// KNN (knn.go), and BatchRange (range.go), which walks the hierarchy once
+// for a whole probe set so that concurrent batch queries share traversal
+// work. Nets serialise with Save/Load (serialize.go) without recomputing
+// any distances, and support Delete with invariant repair (delete.go).
 package refnet
 
 import (

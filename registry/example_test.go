@@ -1,0 +1,62 @@
+package registry_test
+
+import (
+	"fmt"
+
+	subseq "repro"
+	"repro/registry"
+)
+
+// Resolving a measure by name: the string a CLI flag or a config file
+// holds becomes a typed Measure, with aliases accepted.
+func ExampleMeasure() {
+	m, err := registry.Measure[byte]("levenshtein")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, m.Props.Metric, m.Fn([]byte("kitten"), []byte("sitting")))
+
+	// "frechet" is an alias for the canonical scalar DFD instantiation.
+	dfd, err := registry.Measure[float64]("frechet")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dfd.Name, dfd.Fn([]float64{1, 2, 3}, []float64{1, 2, 5}))
+	// Output:
+	// levenshtein true 3
+	// dfd 2
+}
+
+// Validating a measure × backend pairing up front: Compatible explains why
+// an unsound combination is rejected instead of just rejecting it.
+func ExampleCompatible() {
+	dtw, _ := registry.LookupMeasure("dtw", "float64")
+	refnet, _ := registry.Backend("refnet")
+	linear, _ := registry.Backend("linear")
+	fmt.Println(registry.Compatible(dtw, refnet))
+	fmt.Println(registry.Compatible(dtw, linear))
+	// Output:
+	// measure "dtw" is not a metric: backend "refnet" prunes by the triangle inequality and would drop true matches — use the linear backend
+	// <nil>
+}
+
+// Building a full session from names: dataset, measure and backend resolve
+// through the registry, defaults fill in, and the pairing is validated
+// before anything is generated.
+func ExampleNewMatcher() {
+	matcher, ds, err := registry.NewMatcher[byte](registry.SessionSpec{
+		Dataset: "proteins",
+		Measure: "protein-edit",
+		Backend: "covertree",
+		Windows: 30,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	query := make(subseq.Sequence[byte], 60)
+	copy(query, ds.Sequences[0][:60])
+	_, found := matcher.Longest(query, 2)
+	fmt.Println(ds.Name, len(ds.Windows), found)
+	// Output: proteins 30 true
+}

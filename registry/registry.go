@@ -1,0 +1,400 @@
+// Package registry names the framework's building blocks — distance
+// measures, index backends, dataset families — and glues them together into
+// runnable sessions, so that a CLI flag, a config file or a test table can
+// select any supported measure × backend combination without recompiling.
+//
+// The paper's framework is generic over its distance measure (any measure
+// satisfying Definition 1), and the Go API mirrors that genericity with
+// type-parameterised constructors. Genericity compiled in is only half the
+// claim, though: this package makes the parameterisation operational. Every
+// built-in measure self-registers its canonical instantiations per element
+// type (see the catalog in internal/dist), every backend and dataset family
+// is described here, and Compatible explains — rather than just rejects —
+// why an unsound pairing (a non-metric measure on a metric index, a
+// lock-step measure with temporal shift) cannot run.
+//
+// Lookup is typed: Measure[byte]("levenshtein") returns a Measure[byte],
+// and the element type is checked against the registration, so a measure
+// that is not defined over a dataset's element type is a name-resolution
+// error, not a runtime panic. Common alternate names resolve via aliases
+// ("frechet" → "dfd", "protein" → "protein-edit").
+//
+// NewMatcher ties it all together: resolve a SessionSpec (dataset, measure,
+// backend by name), validate the pairing, generate the dataset and build
+// the matcher. `subseqctl` and the table-driven matrix tests are both thin
+// wrappers over it.
+package registry
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	subseq "repro"
+	"repro/internal/data"
+	"repro/internal/dist"
+)
+
+// MeasureInfo is the untyped view of one registered (measure, element type)
+// pair: name, element type and capability bits, as a listing or a
+// compatibility check needs them.
+type MeasureInfo struct {
+	// Name is the canonical measure name.
+	Name string
+	// Elem names the element type the instantiation is registered for:
+	// "byte", "float64" or "point2".
+	Elem string
+	// Description is a one-line summary.
+	Description string
+	// Metric, Consistent and LockStep are the measure's vetted properties.
+	Metric     bool
+	Consistent bool
+	LockStep   bool
+	// Incremental and Bounded report the optional fast-path capabilities.
+	Incremental bool
+	Bounded     bool
+}
+
+// measureAliases maps accepted alternate names to canonical measure names.
+var measureAliases = map[string]string{
+	"frechet": "dfd",
+	"protein": "protein-edit",
+	"myers":   "levenshtein-fast",
+	"edit":    "levenshtein",
+	"l2":      "euclidean",
+}
+
+// CanonicalMeasure resolves accepted alternate spellings ("frechet",
+// "protein", …) to the canonical measure name; unknown names pass through
+// unchanged.
+func CanonicalMeasure(name string) string {
+	if c, ok := measureAliases[name]; ok {
+		return c
+	}
+	return name
+}
+
+func infoOf(e dist.CatalogEntry) MeasureInfo {
+	return MeasureInfo{
+		Name:        e.Name,
+		Elem:        e.Elem,
+		Description: e.Description,
+		Metric:      e.Props.Metric,
+		Consistent:  e.Props.Consistent,
+		LockStep:    e.Props.LockStep,
+		Incremental: e.Incremental,
+		Bounded:     e.Bounded,
+	}
+}
+
+// Measures returns every registered (measure, element type) pair, sorted by
+// name then element type.
+func Measures() []MeasureInfo {
+	cat := dist.Catalog()
+	out := make([]MeasureInfo, len(cat))
+	for i, e := range cat {
+		out[i] = infoOf(e)
+	}
+	return out
+}
+
+// MeasuresFor returns the measures registered over one element type.
+func MeasuresFor(elem string) []MeasureInfo {
+	cat := dist.CatalogFor(elem)
+	out := make([]MeasureInfo, len(cat))
+	for i, e := range cat {
+		out[i] = infoOf(e)
+	}
+	return out
+}
+
+// MeasureNames returns the sorted canonical measure names, each once.
+func MeasureNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range dist.Catalog() {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unknownMeasureErr builds the name-resolution error for the name the
+// caller typed (canonical is its alias-resolved form): it distinguishes a
+// name that exists nowhere from one registered over other element types,
+// and keeps the typed spelling in the message so the error stays
+// actionable when an alias was used.
+func unknownMeasureErr(typed, canonical, elem string) error {
+	display := fmt.Sprintf("%q", typed)
+	if typed != canonical {
+		display = fmt.Sprintf("%q (= %q)", typed, canonical)
+	}
+	var elems []string
+	for _, e := range dist.Catalog() {
+		if e.Name == canonical {
+			elems = append(elems, e.Elem)
+		}
+	}
+	if len(elems) > 0 {
+		return fmt.Errorf("registry: measure %s is not defined over %s elements (defined over: %s)",
+			display, elem, strings.Join(elems, ", "))
+	}
+	return fmt.Errorf("registry: unknown measure %s (measures: %s)",
+		display, strings.Join(MeasureNames(), ", "))
+}
+
+// LookupMeasure returns the info of the named measure over the given
+// element type, resolving aliases.
+func LookupMeasure(name, elem string) (MeasureInfo, error) {
+	canonical := CanonicalMeasure(name)
+	for _, e := range dist.CatalogFor(elem) {
+		if e.Name == canonical {
+			return infoOf(e), nil
+		}
+	}
+	return MeasureInfo{}, unknownMeasureErr(name, canonical, elem)
+}
+
+// Measure returns the canonical Measure[E] registered under name (aliases
+// accepted). The element type is part of the lookup: asking for a measure
+// over an element type it is not registered for is an error naming the
+// types it is registered for.
+func Measure[E any](name string) (subseq.Measure[E], error) {
+	canonical := CanonicalMeasure(name)
+	if m, ok := dist.Builtin[E](canonical); ok {
+		return m, nil
+	}
+	return subseq.Measure[E]{}, unknownMeasureErr(name, canonical, dist.ElemName[E]())
+}
+
+// BackendInfo describes one index backend of the window filter.
+type BackendInfo struct {
+	// Name is the backend's CLI name.
+	Name string
+	// Kind is the core backend selector.
+	Kind subseq.IndexKind
+	// Description is a one-line summary.
+	Description string
+	// NeedsMetric reports that the backend prunes by the triangle
+	// inequality and therefore accepts only metric measures.
+	NeedsMetric bool
+}
+
+// backends lists the four filter backends, in display order.
+var backends = []BackendInfo{
+	{"refnet", subseq.IndexRefNet, "the paper's Reference Net (multi-parent hierarchical metric index)", true},
+	{"covertree", subseq.IndexCoverTree, "single-parent cover-tree baseline", true},
+	{"mv", subseq.IndexMV, "reference-based index with maximum-variance reference selection", true},
+	{"linear", subseq.IndexLinearScan, "exhaustive window scan (sound for every consistent measure)", false},
+}
+
+// Backends returns the filter backends in display order.
+func Backends() []BackendInfo { return append([]BackendInfo(nil), backends...) }
+
+// Backend returns the named backend.
+func Backend(name string) (BackendInfo, error) {
+	for _, b := range backends {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		names[i] = b.Name
+	}
+	return BackendInfo{}, fmt.Errorf("registry: unknown backend %q (backends: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// Compatible reports whether measure m can soundly drive backend b: nil if
+// so, otherwise an error stating which capability is missing and why it
+// matters. It is the name-level mirror of the constructor-time validation
+// in core.NewMatcher — the CLI uses it to reject a pairing up front with
+// the same rationale.
+func Compatible(m MeasureInfo, b BackendInfo) error {
+	if !m.Consistent {
+		return fmt.Errorf("measure %q is not consistent: the window filter would miss matches (Definition 1)", m.Name)
+	}
+	if b.NeedsMetric && !m.Metric {
+		return fmt.Errorf("measure %q is not a metric: backend %q prunes by the triangle inequality and would drop true matches — use the linear backend", m.Name, b.Name)
+	}
+	return nil
+}
+
+// Dataset is a generated dataset: sequences plus their indexed windows.
+type Dataset[E any] = data.Dataset[E]
+
+// DatasetInfo describes one synthetic dataset family.
+type DatasetInfo struct {
+	// Name is the family name.
+	Name string
+	// Elem names the element type of its sequences.
+	Elem string
+	// Description is a one-line summary.
+	Description string
+	// DefaultMeasure is the measure a session uses when none is named —
+	// the pairing the paper evaluates the family with.
+	DefaultMeasure string
+}
+
+// datasets lists the dataset families, in display order.
+var datasets = []DatasetInfo{
+	{"proteins", "byte", "protein-like strings over the 20-letter amino-acid alphabet", "levenshtein-fast"},
+	{"songs", "float64", "melodic pitch-class series (values 0..11)", "dfd"},
+	{"traj", "point2", "2-D parking-lot trajectories", "erp"},
+}
+
+// Datasets returns the dataset families in display order.
+func Datasets() []DatasetInfo { return append([]DatasetInfo(nil), datasets...) }
+
+// DatasetByName returns the named dataset family's description.
+func DatasetByName(name string) (DatasetInfo, error) {
+	for _, d := range datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(datasets))
+	for i, d := range datasets {
+		names[i] = d.Name
+	}
+	return DatasetInfo{}, fmt.Errorf("registry: unknown dataset %q (datasets: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// GenerateDataset builds the named dataset at element type E; the element
+// type must match the family's.
+func GenerateDataset[E any](name string, numWindows, windowLen int, seed uint64) (Dataset[E], error) {
+	return data.Generate[E](name, numWindows, windowLen, seed)
+}
+
+// QueryMutator returns the named dataset family's query point-mutation
+// function, for deriving mutated queries from database subsequences with
+// RandomQuery.
+func QueryMutator[E any](name string) (func(rng *rand.Rand, e E) E, error) {
+	return data.MutatorFor[E](name)
+}
+
+// RandomQuery copies a random subsequence of length qlen from ds and
+// applies point mutations at the given rate using mutate.
+func RandomQuery[E any](ds Dataset[E], qlen int, rate float64,
+	mutate func(rng *rand.Rand, e E) E, seed uint64) subseq.Sequence[E] {
+	return data.RandomQuery(ds, qlen, rate, mutate, seed)
+}
+
+// SessionSpec names a complete framework configuration. The zero values of
+// the optional fields select sensible defaults; only Dataset and Windows
+// must be set.
+type SessionSpec struct {
+	// Dataset is the dataset family to generate.
+	Dataset string
+	// Measure selects the distance measure; "" selects the family's
+	// default. Aliases are accepted.
+	Measure string
+	// Backend selects the filter backend; "" selects refnet.
+	Backend string
+	// Windows is the number of database windows to generate.
+	Windows int
+	// WindowLen is the window length l (λ = 2l); 0 selects 20, the
+	// paper's setting.
+	WindowLen int
+	// Lambda0 is the temporal-shift bound λ0. The zero value selects the
+	// measure's default (0 for lock-step measures, 1 otherwise); -1
+	// explicitly forces λ0 = 0 for a non-lock-step measure; positive
+	// values are used as given (lock-step measures reject them).
+	Lambda0 int
+	// Seed seeds dataset generation.
+	Seed uint64
+}
+
+// Resolve fills the spec's defaults and resolves its names against the
+// registry, without generating anything: the dataset family, the measure
+// info (element-type checked) and the backend, with the pairing validated.
+func (s SessionSpec) Resolve() (DatasetInfo, MeasureInfo, BackendInfo, error) {
+	di, err := DatasetByName(s.Dataset)
+	if err != nil {
+		return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, err
+	}
+	mname := s.Measure
+	if mname == "" {
+		mname = di.DefaultMeasure
+	}
+	mi, err := LookupMeasure(mname, di.Elem)
+	if err != nil {
+		return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, err
+	}
+	bname := s.Backend
+	if bname == "" {
+		bname = "refnet"
+	}
+	bi, err := Backend(bname)
+	if err != nil {
+		return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, err
+	}
+	if err := Compatible(mi, bi); err != nil {
+		return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, fmt.Errorf("registry: %w", err)
+	}
+	return di, mi, bi, nil
+}
+
+// Lambda0For returns the λ0 the spec resolves to for measure mi: lock-step
+// measures force 0; otherwise the zero value selects the default of 1,
+// negative values explicitly select no temporal shift, and positive values
+// pass through.
+func (s SessionSpec) Lambda0For(mi MeasureInfo) (int, error) {
+	if mi.LockStep {
+		if s.Lambda0 > 0 {
+			return 0, fmt.Errorf("registry: lock-step measure %q admits no temporal shift; lambda0 must be 0, got %d",
+				mi.Name, s.Lambda0)
+		}
+		return 0, nil
+	}
+	switch {
+	case s.Lambda0 < 0:
+		return 0, nil
+	case s.Lambda0 == 0:
+		return 1, nil
+	default:
+		return s.Lambda0, nil
+	}
+}
+
+// NewMatcher resolves spec, generates its dataset and builds the matcher
+// over it. E must be the element type of the spec's dataset family.
+func NewMatcher[E any](spec SessionSpec) (*subseq.Matcher[E], Dataset[E], error) {
+	di, mi, bi, err := spec.Resolve()
+	if err != nil {
+		return nil, Dataset[E]{}, err
+	}
+	m, err := Measure[E](mi.Name)
+	if err != nil {
+		return nil, Dataset[E]{}, err
+	}
+	wl := spec.WindowLen
+	if wl == 0 {
+		wl = 20
+	}
+	if wl < 2 {
+		return nil, Dataset[E]{}, fmt.Errorf("registry: window length must be at least 2, got %d", wl)
+	}
+	lambda0, err := spec.Lambda0For(mi)
+	if err != nil {
+		return nil, Dataset[E]{}, err
+	}
+	ds, err := GenerateDataset[E](di.Name, spec.Windows, wl, spec.Seed)
+	if err != nil {
+		return nil, Dataset[E]{}, err
+	}
+	mt, err := subseq.NewMatcher(m, subseq.Config{
+		Params: subseq.Params{Lambda: 2 * wl, Lambda0: lambda0},
+		Index:  bi.Kind,
+	}, ds.Sequences)
+	if err != nil {
+		return nil, Dataset[E]{}, err
+	}
+	return mt, ds, nil
+}

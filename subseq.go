@@ -29,7 +29,11 @@
 // The implementation lives in internal packages; this package is the
 // stable public surface. The Reference Net is additionally exposed
 // directly (NewRefNet) because it is a useful general-purpose metric index
-// independent of subsequence retrieval.
+// independent of subsequence retrieval. The sibling package repro/registry
+// names the building blocks — every built-in measure, index backend and
+// dataset family is resolvable by string (registry.Measure[byte]
+// ("levenshtein"), registry.Backend("covertree")) with capability
+// validation, which is what the subseqctl CLI runs on.
 package subseq
 
 import (
@@ -179,6 +183,11 @@ func LevenshteinFastMeasure() Measure[byte] { return dist.LevenshteinFastMeasure
 func WeightedEdit[E any](sub func(a, b E) float64, indel func(E) float64) DistanceFunc[E] {
 	return dist.WeightedEdit(sub, indel)
 }
+
+// WeightedEditMeasure is a vetted WeightedEdit instance over byte strings
+// (mismatch 1.5, indel 1): a consistent metric with incremental and bounded
+// evaluation, accepted by every index backend.
+func WeightedEditMeasure() Measure[byte] { return dist.WeightedEditMeasure() }
 
 // ProteinEditMeasure is a weighted edit distance over amino-acid strings
 // with physico-chemical substitution costs — a metric, index-compatible
