@@ -18,7 +18,10 @@ test-short:
 
 # bench runs the index + matcher benchmarks at measurement benchtime and
 # emits both artefacts: BENCH_<date>.txt (benchstat-compatible raw output)
-# and BENCH_<date>.json (the same numbers, parsed by cmd/benchjson).
+# and BENCH_<date>.json (the same numbers, parsed by cmd/benchjson). The
+# run covers the refnet kernel-traversal pair (BenchmarkRefnetFilterBatch
+# Kernel/PerProbe, whose dist/op metric is the counted filter evaluations)
+# and the BatchRange allocs/op benchmark.
 bench:
 	$(GO) test -bench=. -benchtime=1s -run=^$$ . > BENCH_$(BENCH_DATE).txt || \
 		{ cat BENCH_$(BENCH_DATE).txt; rm -f BENCH_$(BENCH_DATE).txt; exit 1; }

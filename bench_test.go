@@ -216,6 +216,83 @@ func BenchmarkMatcherQueryPool(b *testing.B) {
 	}
 }
 
+// --- Refnet kernel-traversal benchmarks ---
+
+// refnetFilterBench builds a protein matcher on the refnet backend plus a
+// query batch; kernel=false strips the Prepare/Bounded capabilities so the
+// traversal evaluates every probe independently (the pre-kernel baseline).
+func refnetFilterBench(b *testing.B, kernel bool) (*subseq.Matcher[byte], []subseq.Sequence[byte]) {
+	b.Helper()
+	ds := data.Proteins(2000, 20, 1)
+	m := subseq.LevenshteinFastMeasure()
+	if !kernel {
+		m.Prepare = nil
+		m.Bounded = nil
+	}
+	mt, err := subseq.NewMatcher(m, subseq.Config{
+		Params: subseq.Params{Lambda: 40, Lambda0: 1},
+		Index:  subseq.IndexRefNet,
+	}, ds.Sequences)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]subseq.Sequence[byte], 16)
+	for i := range qs {
+		qs[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, uint64(100+i))
+	}
+	return mt, qs
+}
+
+// BenchmarkRefnetFilterBatchKernel is the kernel-fed refnet filter: probes
+// sharing a query offset are priced by one streamed kernel pass per visited
+// node. The dist/op metric is the counted filter evaluations per batch —
+// compare against BenchmarkRefnetFilterBatchPerProbe.
+func BenchmarkRefnetFilterBatchKernel(b *testing.B) {
+	mt, qs := refnetFilterBench(b, true)
+	mt.ResetFilterCalls()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, hits := range mt.FilterHitsBatch(qs, 4) {
+			sinkRows += len(hits)
+		}
+	}
+	b.ReportMetric(float64(mt.FilterDistanceCalls())/float64(b.N), "dist/op")
+}
+
+// BenchmarkRefnetFilterBatchPerProbe is the pre-kernel baseline: one full
+// evaluation per inconclusive probe at every visited node.
+func BenchmarkRefnetFilterBatchPerProbe(b *testing.B) {
+	mt, qs := refnetFilterBench(b, false)
+	mt.ResetFilterCalls()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, hits := range mt.FilterHitsBatch(qs, 4) {
+			sinkRows += len(hits)
+		}
+	}
+	b.ReportMetric(float64(mt.FilterDistanceCalls())/float64(b.N), "dist/op")
+}
+
+// BenchmarkRefNetBatchRangeAllocs pins the traversal's allocation behaviour
+// (the active-list freelist): steady-state allocs/op must track the result
+// shape, not the number of inconclusive nodes.
+func BenchmarkRefNetBatchRangeAllocs(b *testing.B) {
+	wins := proteinWindows(3000)
+	net := builtNet(wins)
+	qs := make([]seq.Window[byte], 32)
+	for i := range qs {
+		qs[i] = seq.Window[byte]{SeqID: -1, Data: wins[i*37].Data}
+	}
+	net.BatchRange(qs, 4) // warm the pooled scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range net.BatchRange(qs, 4) {
+			sinkRows += len(r)
+		}
+	}
+}
+
 // --- Ablations (design decisions from DESIGN.md §5) ---
 
 // Ablation 1: generic DP Levenshtein vs byte-specialised DP vs Myers'
@@ -270,6 +347,19 @@ func BenchmarkAblationLevenshteinMyersBlockLong(b *testing.B) {
 	x, y := longAblationInputs()
 	for i := 0; i < b.N; i++ {
 		sinkRows += int(dist.LevenshteinFast(x, y))
+	}
+}
+
+// Ablation 1c: the banded bounded block path on the same 120-byte inputs
+// with a tight radius — the Ukkonen band advances ~2 word blocks per
+// character instead of all of them and abandons on the score slack.
+var sinkDist float64
+
+func BenchmarkAblationMyersBandedBoundedLong(b *testing.B) {
+	x, y := longAblationInputs()
+	bounded := dist.LevenshteinFastMeasure().Bounded
+	for i := 0; i < b.N; i++ {
+		sinkDist += bounded(x, y, 8)
 	}
 }
 

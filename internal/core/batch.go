@@ -44,12 +44,15 @@ func (mt *Matcher[E]) FilterHitsBatch(qs []seq.Sequence[E], eps float64) [][]Hit
 	// cache-sized groups.
 	sc := mt.getScratch()
 	defer mt.putScratch(sc)
+	bre, kernel := mt.index.(batchRangerEval[E])
+	kernel = kernel && mt.kernelTraversal()
+	probeCap := maxBatchProbesFor(mt.index.Len())
 	lambda, lambda0 := mt.cfg.Params.Lambda, mt.cfg.Params.Lambda0
 	for lo := 0; lo < len(qs); {
 		sc.segs = sc.segs[:0]
 		starts := []int{0}
 		hi := lo
-		for hi < len(qs) && (hi == lo || len(sc.segs) < maxBatchProbes) {
+		for hi < len(qs) && (hi == lo || len(sc.segs) < probeCap) {
 			sc.segs = seq.AppendSegmentsFor(sc.segs, qs[hi], lambda, lambda0)
 			starts = append(starts, len(sc.segs))
 			hi++
@@ -58,7 +61,24 @@ func (mt *Matcher[E]) FilterHitsBatch(qs []seq.Sequence[E], eps float64) [][]Hit
 		for _, s := range sc.segs {
 			sc.probes = append(sc.probes, seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data})
 		}
-		results := br.BatchRange(sc.probes, eps)
+		var results [][]seq.Window[E]
+		if kernel {
+			// Kernel-fed traversal: group probes by (query, start offset)
+			// so one streamed kernel pass prices all 2λ0+1 lengths at an
+			// offset. Group keys only need to be distinct, so queries
+			// partition the key space by their segment-start ranges.
+			sc.keval.bind(mt, sc.probes)
+			gbase := int32(0)
+			for i := lo; i < hi; i++ {
+				for si := starts[i-lo]; si < starts[i-lo+1]; si++ {
+					sc.keval.groupOf[si] = gbase + int32(sc.segs[si].Start)
+				}
+				gbase += int32(len(qs[i]))
+			}
+			results = bre.BatchRangeEval(sc.probes, eps, &sc.keval)
+		} else {
+			results = br.BatchRange(sc.probes, eps)
+		}
 		for i := lo; i < hi; i++ {
 			var hits []Hit[E]
 			for si := starts[i-lo]; si < starts[i-lo+1]; si++ {
@@ -73,11 +93,40 @@ func (mt *Matcher[E]) FilterHitsBatch(qs []seq.Sequence[E], eps float64) [][]Hit
 	return out
 }
 
-// maxBatchProbes caps the probes handed to one shared index traversal;
-// beyond it the per-probe bookkeeping outgrows cache and sharing turns into
-// thrashing (measured on the protein workload: a 2000-probe traversal runs
-// ~1.5× slower than the same probes in ~250-probe groups).
-const maxBatchProbes = 256
+// maxBatchProbes and minBatchProbes are the ceiling and floor of the
+// shared-traversal chunk size. The ceiling is the value tuned on the
+// protein workload (2000 windows: a 2000-probe traversal ran ~1.5× slower
+// than the same probes in ~250-probe groups); the floor keeps enough
+// probes per traversal for sharing to pay off on very large indexes.
+const (
+	maxBatchProbes = 256
+	minBatchProbes = 32
+	// batchCacheBudget estimates the cache the per-probe traversal state
+	// may occupy — roughly an L2/L3 share per core on current hardware.
+	batchCacheBudget = 4 << 20
+	// batchProbeNodeBytes is the per-probe, per-index-node traversal state:
+	// a flag byte plus a float64 computed distance (refnet.queryState).
+	batchProbeNodeBytes = 9
+)
+
+// maxBatchProbesFor derives the shared-traversal chunk size from the index
+// size: as many probes as keep their combined traversal state inside the
+// cache budget, clamped to [minBatchProbes, maxBatchProbes]. On the tuning
+// workload (2000 windows) the derivation lands where the measured constant
+// did; much larger indexes shrink the chunk instead of thrashing.
+func maxBatchProbesFor(nodes int) int {
+	if nodes <= 0 {
+		return maxBatchProbes
+	}
+	probes := batchCacheBudget / (batchProbeNodeBytes * nodes)
+	if probes > maxBatchProbes {
+		return maxBatchProbes
+	}
+	if probes < minBatchProbes {
+		return minBatchProbes
+	}
+	return probes
+}
 
 // FindAllBatch answers query Type I for every query in qs; result i is
 // exactly FindAll(qs[i], eps).

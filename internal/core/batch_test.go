@@ -200,7 +200,7 @@ func TestIncrementalFilterMatchesPlain(t *testing.T) {
 		// Strip the capabilities to force the plain path on a second
 		// matcher with identical semantics.
 		plainMeasure := dist.LevenshteinMeasure[byte]()
-		plainMeasure.Incremental = nil
+		plainMeasure.Prepare = nil
 		plainMeasure.Bounded = nil
 		plain, err := NewMatcher(plainMeasure, Config{Params: p, Index: IndexLinearScan}, db)
 		if err != nil {

@@ -28,13 +28,20 @@
 // # Throughput
 //
 // The filter takes the measure's optional fast paths when present: the
-// Incremental kernel path prices all 2λ0+1 segment lengths at one query
-// offset in a single pass, and Bounded early-abandoning evaluation lets
-// the linear backend stop a distance computation as soon as it provably
-// exceeds the radius. For query sets, FilterHitsBatch / FindAllBatch /
-// LongestBatch share one cache-chunked index traversal across all queries
-// of a batch, and QueryPool fans batch chunks over a fixed set of worker
-// goroutines; a Matcher is safe for concurrent queries.
+// incremental kernel path (Measure.Prepare) prices all 2λ0+1 segment
+// lengths at one query offset in a single streamed pass — on the linear
+// backend per window, and on the reference net inside the index traversal
+// itself (kerneleval.go), where grouped probes cut counted filter
+// evaluations below one per probe. Bounded early-abandoning evaluation
+// stops a distance computation as soon as it provably exceeds the radius,
+// on the linear scan and on the net's traversal probes alike. The
+// immutable kernel preprocessing is built once per window and shared by
+// all workers (preparedTables), capping kernel memory at O(windows). For
+// query sets, FilterHitsBatch / FindAllBatch / LongestBatch share one
+// cache-chunked index traversal across all queries of a batch (chunk size
+// derived from the index size and a cache budget, maxBatchProbesFor), and
+// QueryPool fans batch chunks over a fixed set of worker goroutines; a
+// Matcher is safe for concurrent queries.
 //
 // BruteForce answers the same three query types exhaustively; it is the
 // correctness oracle the tests compare every backend against.

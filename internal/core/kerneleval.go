@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/metric"
+	"repro/internal/seq"
+)
+
+// Kernel-fed index traversal (ROADMAP: kernel-aware metric-index traversal
+// below one-evaluation-per-probe).
+//
+// The filter's probes are query segments, and segments that share a start
+// offset differ only in length: q[a:a+L] for L = λ/2−λ0 … λ/2+λ0. When the
+// reference net's traversal needs the distances from several such probes to
+// one database window, a single incremental-kernel pass prices all of them
+// — bind the window's kernel, feed the longest member's elements, and read
+// the distance off at every member length. kernelEvaluator implements
+// refnet's BatchEvaluator hook with exactly that grouping, turning up to
+// 2λ0+1 probe evaluations per (node, offset) into one streamed evaluation
+// plus O(1) reads.
+//
+// Memory discipline mirrors the linear backend: the immutable window
+// preprocessing (dist.Prepared — Myers peq tables, edit base rows) is built
+// once per window and shared matcher-wide (preparedTables), while each
+// evaluator carries a single rebindable kernel state. Steady-state kernel
+// memory is therefore O(windows) + O(concurrent evaluators), never
+// O(windows × workers).
+
+// preparedTables lazily builds, once per matcher, the shared immutable
+// kernel preprocessing of every indexed window, plus the window→index map
+// (keyed like the verifier's winKey, by sequence and ordinal) the evaluator
+// resolves items through. Requires measure.Prepare != nil.
+func (mt *Matcher[E]) preparedTables() []dist.Prepared[E] {
+	mt.preparedOnce.Do(func() {
+		prepared := make([]dist.Prepared[E], len(mt.windows))
+		index := make(map[winKey]int32, len(mt.windows))
+		for i, w := range mt.windows {
+			prepared[i] = mt.measure.Prepare(w.Data)
+			index[winKey{w.SeqID, w.Ord}] = int32(i)
+		}
+		mt.winIndex = index
+		mt.prepared = prepared
+	})
+	return mt.prepared
+}
+
+// preparedFor resolves the shared preprocessing of an indexed window.
+func (mt *Matcher[E]) preparedFor(w seq.Window[E]) dist.Prepared[E] {
+	prepared := mt.preparedTables()
+	return prepared[mt.winIndex[winKey{w.SeqID, w.Ord}]]
+}
+
+// kernelTraversal reports whether index traversals should evaluate probes
+// through grouped incremental kernels: the measure must carry Prepare, and
+// there must be more than one segment length per offset to group (λ0 > 0 —
+// with a single length a kernel pass equals a plain evaluation).
+func (mt *Matcher[E]) kernelTraversal() bool {
+	return mt.measure.Prepare != nil && mt.cfg.Params.Lambda0 > 0
+}
+
+// batchRangerEval is the kernel-aware batched-query fast path (implemented
+// by the reference net).
+type batchRangerEval[E any] interface {
+	BatchRangeEval(qs []seq.Window[E], eps float64, ev metric.BatchEvaluator[seq.Window[E]]) [][]seq.Window[E]
+}
+
+// kernelEvaluator implements metric.BatchEvaluator over segment probes by
+// streaming each probe group — probes sharing a query offset — through the
+// target window's shared incremental kernel. It lives in the pooled filter
+// scratch, so each concurrent traversal owns one kernel state and one sort
+// buffer. Each EvalBatch counts one filter distance evaluation per kernel
+// pass (a pass costs one longest-member evaluation), which is what makes
+// the refnet filter's counted cost drop below one evaluation per probe.
+type kernelEvaluator[E any] struct {
+	mt     *Matcher[E]
+	probes []seq.Window[E]
+	// groupOf assigns each probe its offset-group key: probes with equal
+	// keys share a query and start offset, so the shorter ones are prefixes
+	// of the longest. Keys only need to be distinct across groups.
+	groupOf []int32
+	state   dist.Kernel[E]
+	ord     []int32
+}
+
+// bind readies the evaluator for one traversal over probes, with probe i in
+// offset group groupOf[i].
+func (ev *kernelEvaluator[E]) bind(mt *Matcher[E], probes []seq.Window[E]) {
+	ev.mt = mt
+	ev.probes = probes
+	if cap(ev.groupOf) < len(probes) {
+		ev.groupOf = make([]int32, len(probes))
+	}
+	ev.groupOf = ev.groupOf[:len(probes)]
+}
+
+func (ev *kernelEvaluator[E]) Exact() bool { return true }
+
+func (ev *kernelEvaluator[E]) EvalBatch(item seq.Window[E], idxs []int32, _ float64, out []float64) {
+	p := ev.mt.preparedFor(item)
+	// Order the probes by (group, length): group members become contiguous
+	// runs, shortest first. ord holds positions into idxs (and out), so the
+	// sort never moves the caller's data. Deep nodes see a handful of
+	// inconclusive probes (insertion sort, no allocation); the root sees
+	// the whole chunk in length-major generation order — near-maximal
+	// inversions — so larger sets go through sort.Slice.
+	ord := ev.ord[:0]
+	for k := range idxs {
+		ord = append(ord, int32(k))
+	}
+	less := func(a, b int32) bool {
+		ga, gb := ev.groupOf[idxs[a]], ev.groupOf[idxs[b]]
+		if ga != gb {
+			return ga < gb
+		}
+		return len(ev.probes[idxs[a]].Data) < len(ev.probes[idxs[b]].Data)
+	}
+	if len(ord) > 24 {
+		sort.Slice(ord, func(i, j int) bool { return less(ord[i], ord[j]) })
+	} else {
+		for i := 1; i < len(ord); i++ {
+			for j := i; j > 0 && less(ord[j], ord[j-1]); j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+			}
+		}
+	}
+	ev.ord = ord
+	var passes int64
+	for s := 0; s < len(ord); {
+		g := ev.groupOf[idxs[ord[s]]]
+		e := s + 1
+		for e < len(ord) && ev.groupOf[idxs[ord[e]]] == g {
+			e++
+		}
+		// One streamed pass prices the whole group: every member is a
+		// prefix of the longest member's data.
+		ev.state = dist.BindKernel(ev.state, p)
+		longest := ev.probes[idxs[ord[e-1]]].Data
+		k := s
+		for n := 1; n <= len(longest); n++ {
+			d := ev.state.Feed(longest[n-1])
+			for k < e && len(ev.probes[idxs[ord[k]]].Data) == n {
+				out[ord[k]] = d
+				k++
+			}
+		}
+		passes++
+		s = e
+	}
+	ev.mt.counter.Add(passes)
+}

@@ -86,6 +86,15 @@ type Matcher[E any] struct {
 	// scratch pools per-query filter state (segment, probe and hit slices)
 	// so concurrent queries allocate nothing per segment.
 	scratch sync.Pool
+
+	// prepared holds, per indexed window, the shared immutable half of the
+	// measure's incremental kernel (Myers peq tables, edit base rows),
+	// built once on first use and shared by every concurrent worker — the
+	// O(windows) half of the kernel memory split. winIndex maps a window
+	// back to its slot. See preparedTables (kerneleval.go).
+	preparedOnce sync.Once
+	prepared     []dist.Prepared[E]
+	winIndex     map[winKey]int32
 }
 
 // filterScratch is the reusable per-query working set of the filter steps.
@@ -97,11 +106,16 @@ type filterScratch[E any] struct {
 	// each segment so results can be emitted in the same segment-major
 	// order as the plain path.
 	perSeg [][]seq.Window[E]
-	// kernels caches one incremental kernel per database window. Kernels
-	// are single-threaded state, so they live in the scratch (one set per
-	// concurrent query) rather than on the matcher; the window binding and
-	// its preprocessing survive across queries that reuse the scratch.
-	kernels []dist.Kernel[E]
+	// kstate is the per-worker mutable half of the incremental kernels:
+	// a single state, rebound window to window against the matcher's
+	// shared prepared tables. Kernel state is single-threaded, so it lives
+	// in the scratch (one per concurrent query); the immutable window
+	// preprocessing it points at is shared matcher-wide.
+	kstate dist.Kernel[E]
+	// keval is the grouped kernel evaluator driving kernel-aware index
+	// traversals (refnet BatchRangeEval); it owns its own kernel state and
+	// sort buffer.
+	keval kernelEvaluator[E]
 }
 
 func (mt *Matcher[E]) getScratch() *filterScratch[E] {
@@ -137,6 +151,16 @@ func NewMatcher[E any](m dist.Measure[E], cfg Config, db []seq.Sequence[E]) (*Ma
 	switch cfg.Index {
 	case IndexRefNet:
 		net := refnet.New(windowDist, refnet.WithBase(cfg.Base), refnet.WithMaxParents(cfg.MaxParents))
+		if m.Bounded != nil {
+			// Arm the eps+ρ early-abandoning traversal: probes prove
+			// subtrees outside the query ball at a fraction of a full
+			// evaluation (results are unchanged; see refnet.SetBounded).
+			bounded := m.Bounded
+			net.SetBounded(mt.counter.CountBounded(
+				func(a, b seq.Window[E], eps float64) float64 {
+					return bounded(a.Data, b.Data, eps)
+				}))
+		}
 		for _, w := range mt.windows {
 			net.Insert(w)
 		}
@@ -197,7 +221,11 @@ func (mt *Matcher[E]) BuildDistanceCalls() int64 { return mt.buildCalls }
 
 // FilterDistanceCalls reports the distance computations spent by the index
 // on queries since the last ResetFilterCalls — the quantity Figures 8–11 of
-// the paper compare against a full scan.
+// the paper compare against a full scan. An early-abandoned bounded
+// evaluation counts as one computation; a streamed kernel pass pricing a
+// whole group of same-offset probes also counts as one (it costs one
+// longest-member evaluation), which is how the kernel-fed refnet traversal
+// drops below one counted evaluation per probe.
 func (mt *Matcher[E]) FilterDistanceCalls() int64 { return mt.counter.Calls() }
 
 // ResetFilterCalls zeroes the query-side distance counter.
@@ -241,7 +269,7 @@ func (mt *Matcher[E]) filterHits(q seq.Sequence[E], eps float64, sc *filterScrat
 	// single pass over the window; it pays off exactly when there is more
 	// than one length (λ0 > 0 — with a single length the bounded scan's
 	// early abandoning is the better linear-backend kernel).
-	if mt.linear != nil && mt.measure.Incremental != nil && mt.cfg.Params.Lambda0 > 0 {
+	if mt.linear != nil && mt.kernelTraversal() {
 		return mt.filterHitsIncremental(q, eps, sc)
 	}
 	if br, ok := mt.index.(batchRanger[E]); ok {
@@ -249,7 +277,19 @@ func (mt *Matcher[E]) filterHits(q seq.Sequence[E], eps float64, sc *filterScrat
 		for _, s := range segs {
 			sc.probes = append(sc.probes, seq.Window[E]{SeqID: -1, Start: s.Start, Data: s.Data})
 		}
-		for i, wins := range br.BatchRange(sc.probes, eps) {
+		var results [][]seq.Window[E]
+		if bre, ok := mt.index.(batchRangerEval[E]); ok && mt.kernelTraversal() {
+			// Kernel-fed traversal: probes sharing a start offset are
+			// priced by one streamed kernel pass per visited node.
+			sc.keval.bind(mt, sc.probes)
+			for i, s := range segs {
+				sc.keval.groupOf[i] = int32(s.Start)
+			}
+			results = bre.BatchRangeEval(sc.probes, eps, &sc.keval)
+		} else {
+			results = br.BatchRange(sc.probes, eps)
+		}
+		for i, wins := range results {
 			for _, w := range wins {
 				sc.hits = append(sc.hits, Hit[E]{Window: w, Segment: segs[i]})
 			}
@@ -300,15 +340,14 @@ func (mt *Matcher[E]) filterHitsIncremental(q seq.Sequence[E], eps float64, sc *
 		perSeg[i] = perSeg[i][:0]
 	}
 	items := mt.linear.Items()
-	if len(sc.kernels) != len(items) {
-		sc.kernels = make([]dist.Kernel[E], len(items))
-		for i, w := range items {
-			sc.kernels[i] = mt.measure.Incremental(w.Data)
-		}
-	}
+	// The immutable window preprocessing is shared matcher-wide; this
+	// worker carries one kernel state and rebinds it window to window, so
+	// steady-state kernel memory is O(windows), not O(windows × workers).
+	prepared := mt.preparedTables()
 	var evals int64
 	for wi, w := range items {
-		k := sc.kernels[wi]
+		sc.kstate = dist.BindKernel(sc.kstate, prepared[wi])
+		k := sc.kstate
 		for a := 0; a+minLen <= len(q); a++ {
 			k.Reset()
 			top := maxLen

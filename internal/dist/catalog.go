@@ -84,7 +84,7 @@ func RegisterBuiltin[E any](m Measure[E], description string) {
 		Elem:        key.elem,
 		Description: description,
 		Props:       m.Props,
-		Incremental: m.Incremental != nil,
+		Incremental: m.Prepare != nil,
 		Bounded:     m.Bounded != nil,
 	}
 }

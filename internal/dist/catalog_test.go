@@ -34,13 +34,13 @@ func TestCatalogEntriesRoundTrip(t *testing.T) {
 		switch e.Elem {
 		case "byte":
 			bm, found := Builtin[byte](e.Name)
-			m, ok, name, incr, bound = bm, found, bm.Name, bm.Incremental != nil, bm.Bounded != nil
+			m, ok, name, incr, bound = bm, found, bm.Name, bm.Prepare != nil, bm.Bounded != nil
 		case "float64":
 			fm, found := Builtin[float64](e.Name)
-			m, ok, name, incr, bound = fm, found, fm.Name, fm.Incremental != nil, fm.Bounded != nil
+			m, ok, name, incr, bound = fm, found, fm.Name, fm.Prepare != nil, fm.Bounded != nil
 		case "point2":
 			pm, found := Builtin[seq.Point2](e.Name)
-			m, ok, name, incr, bound = pm, found, pm.Name, pm.Incremental != nil, pm.Bounded != nil
+			m, ok, name, incr, bound = pm, found, pm.Name, pm.Prepare != nil, pm.Bounded != nil
 		default:
 			t.Fatalf("%s/%s: unexpected element type", e.Name, e.Elem)
 		}

@@ -97,7 +97,7 @@ type Properties struct {
 // constructors in this package return measures whose Props have been vetted
 // by the package's property-based tests.
 //
-// Incremental and Bounded are optional capabilities: nil means the measure
+// Prepare and Bounded are optional capabilities: nil means the measure
 // offers only the plain Fn evaluation, and every consumer falls back to it.
 // When present they must agree exactly with Fn (the package's tests
 // cross-check both against Fn on random inputs for every built-in measure).
@@ -108,15 +108,31 @@ type Measure[E any] struct {
 	Fn Func[E]
 	// Props records the assumptions Fn satisfies.
 	Props Properties
-	// Incremental, when non-nil, returns a stateful kernel evaluating
-	// d(·, w) over growing left-hand prefixes, reusing the work shared by
-	// prefixes that differ in one element (rolling lock-step sums, edit-DP
-	// row reuse, Myers column streaming). The filter uses it to price all
-	// 2λ0+1 segment lengths at one start for the cost of the longest.
-	Incremental func(w []E) Kernel[E]
+	// Prepare, when non-nil, builds the shared immutable half of an
+	// incremental kernel for window w — the window binding plus its
+	// preprocessing (Myers peq bit tables, edit base rows, ERP gap
+	// columns). The Prepared mints stateful kernels evaluating d(·, w)
+	// over growing left-hand prefixes, reusing the work shared by prefixes
+	// that differ in one element (rolling lock-step sums, edit-DP row
+	// reuse, Myers column streaming). The filter uses kernels to price all
+	// 2λ0+1 segment lengths at one start for the cost of the longest, and
+	// stores one Prepared per database window alongside the index so
+	// concurrent workers share the preprocessing (see Prepared).
+	Prepare func(w []E) Prepared[E]
 	// Bounded, when non-nil, is the early-abandoning evaluation of Fn;
 	// see BoundedFunc for the contract.
 	Bounded BoundedFunc[E]
+}
+
+// NewKernel builds a one-off incremental kernel bound to w (Prepare plus a
+// fresh state). It returns nil when the measure has no Prepare capability.
+// Callers evaluating many windows should instead hold the Prepared values
+// and rebind a single state per worker with BindKernel.
+func (m Measure[E]) NewKernel(w []E) Kernel[E] {
+	if m.Prepare == nil {
+		return nil
+	}
+	return m.Prepare(w).NewState()
 }
 
 // Coupling is one element pairing in an optimal alignment, as recovered by

@@ -55,11 +55,11 @@ func editDP(n, m int, sub func(i, j int) float64, delA, delB func(int) float64) 
 // incremental kernel and the Ukkonen-banded bounded evaluation.
 func LevenshteinMeasure[E comparable]() Measure[E] {
 	return Measure[E]{
-		Name:        "levenshtein",
-		Fn:          Levenshtein[E](),
-		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
-		Incremental: levenshteinKernel[E],
-		Bounded:     levenshteinBounded[E](),
+		Name:    "levenshtein",
+		Fn:      Levenshtein[E](),
+		Props:   Properties{Consistent: true, Metric: true, LockStep: false},
+		Prepare: levenshteinPrepare[E],
+		Bounded: levenshteinBounded[E](),
 	}
 }
 
@@ -145,8 +145,8 @@ func WeightedEditMeasure() Measure[byte] {
 		Name:  "weighted-edit",
 		Fn:    WeightedEdit[byte](weightedSub, func(byte) float64 { return weightedEditIndel }),
 		Props: Properties{Consistent: true, Metric: true, LockStep: false},
-		Incremental: func(w []byte) Kernel[byte] {
-			return newEditRowKernel(w,
+		Prepare: func(w []byte) Prepared[byte] {
+			return newEditRowPrepared(w,
 				func(x byte, j int) float64 { return weightedSub(x, w[j]) },
 				func(byte) float64 { return weightedEditIndel },
 				func(int) float64 { return weightedEditIndel })

@@ -45,11 +45,11 @@ func ERP[E any](g Ground[E], gap E) Func[E] {
 // and row-minimum early abandoning.
 func ERPMeasure[E any](g Ground[E], gap E) Measure[E] {
 	return Measure[E]{
-		Name:        "erp",
-		Fn:          ERP(g, gap),
-		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
-		Incremental: erpKernel(g, gap),
-		Bounded:     erpBounded(g, gap),
+		Name:    "erp",
+		Fn:      ERP(g, gap),
+		Props:   Properties{Consistent: true, Metric: true, LockStep: false},
+		Prepare: erpPrepare(g, gap),
+		Bounded: erpBounded(g, gap),
 	}
 }
 

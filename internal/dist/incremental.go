@@ -20,6 +20,20 @@ import "math"
 // but the rolling accumulator form is what the bounded kernels in bounded.go
 // abandon early, and keeping the two shapes identical lets the filter treat
 // every measure uniformly.
+//
+// # The Prepared/state split
+//
+// A kernel has two halves with very different lifetimes. The window binding
+// and its preprocessing — Myers peq bit tables (~2KB for a 64-byte window),
+// the cumulative gap column of ERP, the empty-prefix base row of the edit
+// DPs — are immutable once built and depend only on the window. The
+// evaluation state — the current DP row, the vertical delta words, a rolling
+// accumulator — is tiny and mutated on every Feed. Prepared is the first
+// half: built once per database window and stored alongside the index, it is
+// safe for concurrent use and mints per-worker mutable Kernels via NewState.
+// That caps steady-state kernel memory at O(windows) — shared preprocessing
+// plus one small state per worker — instead of the O(windows × workers)
+// that per-worker kernel construction costs.
 
 // Kernel is a stateful incremental distance evaluator bound to a fixed
 // right-hand sequence w. The n-th call to Feed appends the n-th element of
@@ -35,98 +49,184 @@ type Kernel[E any] interface {
 	Reset()
 }
 
-// euclideanKernel is the rolling lock-step kernel for Euclidean: it
-// accumulates the sum of squared ground distances elementwise and reports
-// sqrt at the exact window length, +Inf elsewhere.
-type euclideanKernel[E any] struct {
-	g   Ground[E]
-	w   []E
+// Prepared is the shared immutable half of an incremental kernel: the bound
+// window plus whatever preprocessing the measure's kernel needs. A Prepared
+// is safe for concurrent use; the mutable evaluation state lives in the
+// Kernels it mints. Build one Prepared per database window (NewState is
+// cheap; Prepare is not) and rebind a single per-worker state across windows
+// with BindKernel.
+type Prepared[E any] interface {
+	// WindowLen reports the length of the bound window.
+	WindowLen() int
+	// NewState mints a fresh mutable kernel over this window, rewound to
+	// the empty prefix.
+	NewState() Kernel[E]
+}
+
+// Rebindable is optionally implemented by kernel states minted from a
+// Prepared: Rebind re-points the state at another window's prepared tables,
+// reusing the state's buffers, and rewinds to the empty prefix. It reports
+// false when p belongs to a different kernel family, in which case the
+// state is unchanged.
+type Rebindable[E any] interface {
+	Rebind(p Prepared[E]) bool
+}
+
+// BindKernel returns a kernel over p's window, rewound to the empty prefix:
+// state itself when it can be rebound in place (the steady-state path — no
+// allocation), a fresh p.NewState() otherwise (first use, or a state from a
+// different kernel family).
+func BindKernel[E any](state Kernel[E], p Prepared[E]) Kernel[E] {
+	if rb, ok := state.(Rebindable[E]); ok && rb.Rebind(p) {
+		return state
+	}
+	return p.NewState()
+}
+
+// euclideanPrepared is the (preprocessing-free) shared half of the rolling
+// lock-step Euclidean kernel: the window and the ground distance.
+type euclideanPrepared[E any] struct {
+	g Ground[E]
+	w []E
+}
+
+func (p *euclideanPrepared[E]) WindowLen() int { return len(p.w) }
+
+func (p *euclideanPrepared[E]) NewState() Kernel[E] { return &euclideanState[E]{p: p} }
+
+// euclideanState accumulates the sum of squared ground distances
+// elementwise and reports sqrt at the exact window length, +Inf elsewhere.
+type euclideanState[E any] struct {
+	p   *euclideanPrepared[E]
 	n   int
 	sum float64
 }
 
-func (k *euclideanKernel[E]) Feed(x E) float64 {
-	if k.n >= len(k.w) {
+func (k *euclideanState[E]) Feed(x E) float64 {
+	w := k.p.w
+	if k.n >= len(w) {
 		k.n++
 		return math.Inf(1)
 	}
-	d := k.g(x, k.w[k.n])
+	d := k.p.g(x, w[k.n])
 	k.sum += d * d
 	k.n++
-	if k.n == len(k.w) {
+	if k.n == len(w) {
 		return math.Sqrt(k.sum)
 	}
 	return math.Inf(1)
 }
 
-func (k *euclideanKernel[E]) Reset() { k.n, k.sum = 0, 0 }
+func (k *euclideanState[E]) Reset() { k.n, k.sum = 0, 0 }
 
-// hammingKernel is the rolling lock-step kernel for Hamming: a running
-// mismatch count, defined at the exact window length only.
-type hammingKernel[E comparable] struct {
-	w      []E
+func (k *euclideanState[E]) Rebind(p Prepared[E]) bool {
+	ep, ok := p.(*euclideanPrepared[E])
+	if !ok {
+		return false
+	}
+	k.p = ep
+	k.Reset()
+	return true
+}
+
+// hammingPrepared is the shared half of the rolling Hamming kernel.
+type hammingPrepared[E comparable] struct {
+	w []E
+}
+
+func (p *hammingPrepared[E]) WindowLen() int { return len(p.w) }
+
+func (p *hammingPrepared[E]) NewState() Kernel[E] { return &hammingState[E]{p: p} }
+
+// hammingState is a running mismatch count, defined at the exact window
+// length only.
+type hammingState[E comparable] struct {
+	p      *hammingPrepared[E]
 	n      int
 	misses int
 }
 
-func (k *hammingKernel[E]) Feed(x E) float64 {
-	if k.n >= len(k.w) {
+func (k *hammingState[E]) Feed(x E) float64 {
+	w := k.p.w
+	if k.n >= len(w) {
 		k.n++
 		return math.Inf(1)
 	}
-	if x != k.w[k.n] {
+	if x != w[k.n] {
 		k.misses++
 	}
 	k.n++
-	if k.n == len(k.w) {
+	if k.n == len(w) {
 		return float64(k.misses)
 	}
 	return math.Inf(1)
 }
 
-func (k *hammingKernel[E]) Reset() { k.n, k.misses = 0, 0 }
+func (k *hammingState[E]) Reset() { k.n, k.misses = 0, 0 }
 
-// editRowKernel is the shared incremental form of the edit-family DPs
-// (Levenshtein, weighted edit, protein edit, ERP): it maintains the DP row
-// row[j] = d(fed prefix, w[:j]) and advances it by one row per fed element —
-// the row-reuse evaluation of the DP that editDP computes from scratch.
+func (k *hammingState[E]) Rebind(p Prepared[E]) bool {
+	hp, ok := p.(*hammingPrepared[E])
+	if !ok {
+		return false
+	}
+	k.p = hp
+	k.Reset()
+	return true
+}
+
+// editRowPrepared is the shared half of the edit-family kernels
+// (Levenshtein, weighted edit, protein edit, ERP): the window, the cost
+// model, and the empty-prefix base row (cumulative delW costs — for ERP,
+// the gap column), precomputed once so every state Reset is a copy.
 //
 // The cost model mirrors editDP: sub(x, j) prices substituting x with w[j],
 // delX(x) prices dropping a fed element, delW(j) prices dropping w[j].
-type editRowKernel[E any] struct {
+type editRowPrepared[E any] struct {
 	w    []E
 	sub  func(x E, j int) float64
 	delX func(x E) float64
 	delW func(j int) float64
-	// base is the empty-prefix row (cumulative delW costs), precomputed at
-	// construction so Reset is a copy.
 	base []float64
-	row  []float64
 }
 
-func newEditRowKernel[E any](w []E, sub func(x E, j int) float64, delX func(x E) float64, delW func(j int) float64) *editRowKernel[E] {
-	k := &editRowKernel[E]{
+func newEditRowPrepared[E any](w []E, sub func(x E, j int) float64, delX func(x E) float64, delW func(j int) float64) *editRowPrepared[E] {
+	p := &editRowPrepared[E]{
 		w: w, sub: sub, delX: delX, delW: delW,
 		base: make([]float64, len(w)+1),
-		row:  make([]float64, len(w)+1),
 	}
 	for j := 1; j <= len(w); j++ {
-		k.base[j] = k.base[j-1] + delW(j-1)
+		p.base[j] = p.base[j-1] + delW(j-1)
 	}
-	copy(k.row, k.base)
-	return k
+	return p
 }
 
-func (k *editRowKernel[E]) Feed(x E) float64 {
-	dx := k.delX(x)
+func (p *editRowPrepared[E]) WindowLen() int { return len(p.w) }
+
+func (p *editRowPrepared[E]) NewState() Kernel[E] {
+	s := &editRowState[E]{p: p, row: make([]float64, len(p.base))}
+	copy(s.row, p.base)
+	return s
+}
+
+// editRowState maintains the DP row row[j] = d(fed prefix, w[:j]) and
+// advances it by one row per fed element — the row-reuse evaluation of the
+// DP that editDP computes from scratch.
+type editRowState[E any] struct {
+	p   *editRowPrepared[E]
+	row []float64
+}
+
+func (k *editRowState[E]) Feed(x E) float64 {
+	p := k.p
+	dx := p.delX(x)
 	diag := k.row[0]
 	k.row[0] += dx
 	for j := 1; j < len(k.row); j++ {
-		best := diag + k.sub(x, j-1)
+		best := diag + p.sub(x, j-1)
 		if v := k.row[j] + dx; v < best {
 			best = v
 		}
-		if v := k.row[j-1] + k.delW(j-1); v < best {
+		if v := k.row[j-1] + p.delW(j-1); v < best {
 			best = v
 		}
 		diag = k.row[j]
@@ -135,12 +235,27 @@ func (k *editRowKernel[E]) Feed(x E) float64 {
 	return k.row[len(k.row)-1]
 }
 
-func (k *editRowKernel[E]) Reset() { copy(k.row, k.base) }
+func (k *editRowState[E]) Reset() { copy(k.row, k.p.base) }
 
-// levenshteinKernel returns the unit-cost incremental kernel over any
-// comparable alphabet.
-func levenshteinKernel[E comparable](w []E) Kernel[E] {
-	return newEditRowKernel(w,
+func (k *editRowState[E]) Rebind(p Prepared[E]) bool {
+	ep, ok := p.(*editRowPrepared[E])
+	if !ok {
+		return false
+	}
+	k.p = ep
+	if cap(k.row) < len(ep.base) {
+		k.row = make([]float64, len(ep.base))
+	} else {
+		k.row = k.row[:len(ep.base)]
+	}
+	copy(k.row, ep.base)
+	return true
+}
+
+// levenshteinPrepare builds the unit-cost incremental kernel preprocessing
+// over any comparable alphabet.
+func levenshteinPrepare[E comparable](w []E) Prepared[E] {
+	return newEditRowPrepared(w,
 		func(x E, j int) float64 {
 			if x == w[j] {
 				return 0
@@ -151,20 +266,21 @@ func levenshteinKernel[E comparable](w []E) Kernel[E] {
 		func(int) float64 { return 1 })
 }
 
-// erpKernel returns the incremental ERP kernel: substitution priced by the
-// ground distance, indels by the ground distance to the gap element.
-func erpKernel[E any](g Ground[E], gap E) func(w []E) Kernel[E] {
-	return func(w []E) Kernel[E] {
-		return newEditRowKernel(w,
+// erpPrepare builds the incremental ERP kernel preprocessing: substitution
+// priced by the ground distance, indels by the ground distance to the gap
+// element (the base row is exactly ERP's cumulative gap column).
+func erpPrepare[E any](g Ground[E], gap E) func(w []E) Prepared[E] {
+	return func(w []E) Prepared[E] {
+		return newEditRowPrepared(w,
 			func(x E, j int) float64 { return g(x, w[j]) },
 			func(x E) float64 { return g(x, gap) },
 			func(j int) float64 { return g(w[j], gap) })
 	}
 }
 
-// proteinKernel returns the incremental protein-edit kernel.
-func proteinKernel(w []byte) Kernel[byte] {
-	return newEditRowKernel(w,
+// proteinPrepare builds the incremental protein-edit kernel preprocessing.
+func proteinPrepare(w []byte) Prepared[byte] {
+	return newEditRowPrepared(w,
 		func(x byte, j int) float64 { return proteinSubCost(x, w[j]) },
 		func(byte) float64 { return proteinIndel },
 		func(int) float64 { return proteinIndel })

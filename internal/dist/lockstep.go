@@ -33,11 +33,11 @@ func Euclidean[E any](g Ground[E]) Func[E] {
 // abandoning.
 func EuclideanMeasure[E any](g Ground[E]) Measure[E] {
 	return Measure[E]{
-		Name:        "euclidean",
-		Fn:          Euclidean(g),
-		Props:       Properties{Consistent: true, Metric: true, LockStep: true},
-		Incremental: func(w []E) Kernel[E] { return &euclideanKernel[E]{g: g, w: w} },
-		Bounded:     euclideanBounded(g),
+		Name:    "euclidean",
+		Fn:      Euclidean(g),
+		Props:   Properties{Consistent: true, Metric: true, LockStep: true},
+		Prepare: func(w []E) Prepared[E] { return &euclideanPrepared[E]{g: g, w: w} },
+		Bounded: euclideanBounded(g),
 	}
 }
 
@@ -60,11 +60,11 @@ func Hamming[E comparable](a, b []E) float64 {
 // early abandoning.
 func HammingMeasure[E comparable]() Measure[E] {
 	return Measure[E]{
-		Name:        "hamming",
-		Fn:          Hamming[E],
-		Props:       Properties{Consistent: true, Metric: true, LockStep: true},
-		Incremental: func(w []E) Kernel[E] { return &hammingKernel[E]{w: w} },
-		Bounded:     hammingBounded[E],
+		Name:    "hamming",
+		Fn:      Hamming[E],
+		Props:   Properties{Consistent: true, Metric: true, LockStep: true},
+		Prepare: func(w []E) Prepared[E] { return &hammingPrepared[E]{w: w} },
+		Bounded: hammingBounded[E],
 	}
 }
 

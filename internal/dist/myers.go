@@ -2,7 +2,6 @@ package dist
 
 import (
 	"math"
-	"math/bits"
 	"sync"
 )
 
@@ -11,9 +10,13 @@ import (
 // machine words as vertical delta bit-vectors, advancing a whole column per
 // text character in a handful of word operations. Semantics are identical to
 // LevenshteinBytes / Levenshtein[byte](). Patterns up to 64 bytes run in a
-// single word; longer patterns use the block-based (multi-word) variant of
-// Myers §4, which keeps bit-parallel speed — ⌈n/64⌉ word blocks per text
-// character instead of n DP cells — for arbitrarily long inputs.
+// single word; longer patterns use the block-based (multi-word) variant,
+// which keeps bit-parallel speed — ⌈n/64⌉ word blocks per text character
+// instead of n DP cells — for arbitrarily long inputs.
+//
+// Every variant in this file (plain, bounded, incremental kernel; single
+// word and block) advances the DP column through the one shared word step,
+// myersStep.
 func LevenshteinFast(a, b []byte) float64 {
 	// The pattern (bit-packed side) is the shorter string.
 	if len(a) > len(b) {
@@ -28,11 +31,51 @@ func LevenshteinFast(a, b []byte) float64 {
 	return float64(myers64(a, b))
 }
 
+// myersStep advances one 64-bit word of the Myers column by one text
+// character. pv/mv are the word's positive/negative vertical deltas, eq its
+// pattern-match mask for the character, and hin the horizontal delta
+// entering at the word's top boundary (-1, 0 or +1; the whole column's
+// boundary row contributes +1 per character, so the bottom word chain
+// starts at hin = +1). It returns the new vertical deltas, the outgoing
+// horizontal delta at the word's top bit (the hin of the next word up —
+// Hyyrö's carry formulation, which subsumes both the match-propagating
+// addition carry and the delta shift carry of Myers §4), and the horizontal
+// delta at scoreBit (+1, -1 or 0), with which callers track the DP value of
+// their row of interest. Pass scoreBit = 0 when the word holds no tracked
+// row.
+func myersStep(pv, mv, eq uint64, hin int, scoreBit uint64) (pvOut, mvOut uint64, hout, scoreDelta int) {
+	xv := eq | mv
+	if hin < 0 {
+		eq |= 1
+	}
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	if ph&scoreBit != 0 {
+		scoreDelta = 1
+	} else if mh&scoreBit != 0 {
+		scoreDelta = -1
+	}
+	if ph&(1<<63) != 0 {
+		hout = 1
+	} else if mh&(1<<63) != 0 {
+		hout = -1
+	}
+	ph <<= 1
+	mh <<= 1
+	if hin < 0 {
+		mh |= 1
+	} else if hin > 0 {
+		ph |= 1
+	}
+	pvOut = mh | ^(xv | ph)
+	mvOut = ph & xv
+	return pvOut, mvOut, hout, scoreDelta
+}
+
 // myers64 runs the bit-parallel recurrence with pattern a (1 ≤ len(a) ≤ 64)
-// against text b. Pv/Mv hold the positive/negative vertical deltas of the
-// current DP column; each text character updates them via the Eq mask and
-// the horizontal deltas Ph/Mh. The score tracks the bottom DP cell, starting
-// at len(a) (the distance against the empty text).
+// against text b. The score tracks the bottom DP cell, starting at len(a)
+// (the distance against the empty text).
 func myers64(a, b []byte) int {
 	var peq [256]uint64
 	for i, c := range a {
@@ -43,31 +86,22 @@ func myers64(a, b []byte) int {
 	score := len(a)
 	last := uint64(1) << uint(len(a)-1)
 	for _, c := range b {
-		eq := peq[c]
-		xv := eq | mv
-		xh := (((eq & pv) + pv) ^ pv) | eq
-		ph := mv | ^(xh | pv)
-		mh := pv & xh
-		if ph&last != 0 {
-			score++
-		} else if mh&last != 0 {
-			score--
-		}
-		ph = ph<<1 | 1
-		mh <<= 1
-		pv = mh | ^(xv | ph)
-		mv = ph & xv
+		var sd int
+		pv, mv, _, sd = myersStep(pv, mv, peq[c], 1, last)
+		score += sd
 	}
 	return score
 }
 
 // blockScratch is the reusable working set of the multi-word recurrence:
-// the per-character Eq masks (256×W words, kept all-zero between uses) and
-// the delta/carry vectors. Pooled because the filter evaluates the distance
-// once per segment↔window pair.
+// the per-character Eq masks (256×W words, kept all-zero between uses), the
+// delta vectors, and the per-block bottom-row scores the banded bounded
+// path tracks. Pooled because the filter evaluates the distance once per
+// segment↔window pair.
 type blockScratch struct {
-	peq        []uint64 // 256*w words, zeroed on return to the pool
-	pv, mv, xh []uint64
+	peq    []uint64 // 256*w words, zeroed on return to the pool
+	pv, mv []uint64
+	scores []int
 }
 
 var blockPool = sync.Pool{New: func() any { return &blockScratch{} }}
@@ -78,27 +112,36 @@ func (s *blockScratch) grow(w int) {
 	if cap(s.pv) < w {
 		s.pv = make([]uint64, w)
 		s.mv = make([]uint64, w)
-		s.xh = make([]uint64, w)
+		s.scores = make([]int, w)
 	}
-	s.pv, s.mv, s.xh = s.pv[:w], s.mv[:w], s.xh[:w]
+	s.pv, s.mv, s.scores = s.pv[:w], s.mv[:w], s.scores[:w]
 	if len(s.peq) < 256*w {
 		s.peq = make([]uint64, 256*w)
 	}
 }
 
+// release zeroes the peq rows touched by pattern a and returns the scratch
+// to the pool.
+func (s *blockScratch) release(a []byte, w int) {
+	for _, c := range a {
+		for k := 0; k < w; k++ {
+			s.peq[int(c)*w+k] = 0
+		}
+	}
+	blockPool.Put(s)
+}
+
 // myersBlock is the block-based (multi-word) Myers recurrence for patterns
-// longer than 64 bytes. It is the single-word recurrence evaluated on
-// ⌈len(a)/64⌉-word bit-vectors: the only cross-word interactions are the
-// carry of the match-propagating addition in Xh and the left shift of the
-// horizontal deltas, both threaded explicitly through the block loop.
+// longer than 64 bytes: the single-word step chained bottom-up through the
+// words, each word's outgoing horizontal delta feeding the next word's hin.
 // Garbage bits above the pattern length in the last word never influence
-// lower bits (addition carries and shifts propagate strictly upward), so the
-// score bit at position len(a)−1 stays exact.
+// lower bits (the step's carries propagate strictly upward), so the score
+// bit at position len(a)−1 stays exact.
 func myersBlock(a, b []byte) int {
 	w := (len(a) + 63) >> 6
 	s := blockPool.Get().(*blockScratch)
 	s.grow(w)
-	peq, pv, mv, xh := s.peq, s.pv, s.mv, s.xh
+	peq, pv, mv := s.peq, s.pv, s.mv
 	for i, c := range a {
 		peq[int(c)*w+(i>>6)] |= 1 << uint(i&63)
 	}
@@ -111,48 +154,23 @@ func myersBlock(a, b []byte) int {
 	lastBit := uint64(1) << uint((len(a)-1)&63)
 	for _, c := range b {
 		row := peq[int(c)*w : int(c)*w+w]
-		// Pass 1: Xh = (((Eq & Pv) + Pv) ^ Pv) | Eq with the addition carry
-		// rippling across words.
-		var carry uint64
-		for k := 0; k < w; k++ {
-			sum, c2 := bits.Add64(row[k]&pv[k], pv[k], carry)
-			carry = c2
-			xh[k] = (sum ^ pv[k]) | row[k]
+		hin := 1
+		for k := 0; k < lastWord; k++ {
+			pv[k], mv[k], hin, _ = myersStep(pv[k], mv[k], row[k], hin, 0)
 		}
-		// Pass 2: horizontal deltas, score update at the pattern's last row,
-		// one-bit left shift across words (the +1 boundary enters at the
-		// bottom), and the new vertical deltas.
-		phCarry, mhCarry := uint64(1), uint64(0)
-		for k := 0; k < w; k++ {
-			xv := row[k] | mv[k]
-			ph := mv[k] | ^(xh[k] | pv[k])
-			mh := pv[k] & xh[k]
-			if k == lastWord {
-				if ph&lastBit != 0 {
-					score++
-				} else if mh&lastBit != 0 {
-					score--
-				}
-			}
-			phs := ph<<1 | phCarry
-			mhs := mh<<1 | mhCarry
-			phCarry, mhCarry = ph>>63, mh>>63
-			pv[k] = mhs | ^(xv | phs)
-			mv[k] = phs & xv
-		}
+		var sd int
+		pv[lastWord], mv[lastWord], _, sd = myersStep(pv[lastWord], mv[lastWord], row[lastWord], hin, lastBit)
+		score += sd
 	}
-	for _, c := range a {
-		for k := 0; k < w; k++ {
-			peq[int(c)*w+k] = 0
-		}
-	}
-	blockPool.Put(s)
+	s.release(a, w)
 	return score
 }
 
 // levenshteinFastBounded is LevenshteinFast with early abandoning: the
 // bottom-row score can drop by at most 1 per remaining text character, so
 // once score − remaining exceeds eps no completion can come back under it.
+// Patterns over 64 bytes run the banded block recurrence (myersBlockBounded),
+// which additionally visits only the word blocks the Ukkonen band touches.
 func levenshteinFastBounded(a, b []byte, eps float64) float64 {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -165,8 +183,7 @@ func levenshteinFastBounded(a, b []byte, eps float64) float64 {
 		return float64(len(b))
 	}
 	if len(a) > 64 {
-		// The block path is already fast; banding it is future work.
-		return float64(myersBlock(a, b))
+		return myersBlockBounded(a, b, eps)
 	}
 	var peq [256]uint64
 	for i, c := range a {
@@ -177,20 +194,9 @@ func levenshteinFastBounded(a, b []byte, eps float64) float64 {
 	score := len(a)
 	last := uint64(1) << uint(len(a)-1)
 	for j, c := range b {
-		eq := peq[c]
-		xv := eq | mv
-		xh := (((eq & pv) + pv) ^ pv) | eq
-		ph := mv | ^(xh | pv)
-		mh := pv & xh
-		if ph&last != 0 {
-			score++
-		} else if mh&last != 0 {
-			score--
-		}
-		ph = ph<<1 | 1
-		mh <<= 1
-		pv = mh | ^(xv | ph)
-		mv = ph & xv
+		var sd int
+		pv, mv, _, sd = myersStep(pv, mv, peq[c], 1, last)
+		score += sd
 		if remaining := len(b) - j - 1; float64(score-remaining) > eps {
 			return math.Inf(1)
 		}
@@ -198,141 +204,243 @@ func levenshteinFastBounded(a, b []byte, eps float64) float64 {
 	return float64(score)
 }
 
-// myersKernel64 is the incremental form of the single-word recurrence: the
-// pattern (the database window, ≤ 64 bytes) is bit-packed once at
-// construction; each Feed advances the column by one query element and
-// returns the current bottom-row score — d(fed prefix, w). Reset rewinds to
-// the empty prefix without re-packing the pattern.
-type myersKernel64 struct {
-	peq    [256]uint64
-	last   uint64
-	m      int
+// myersBlockBounded is the banded multi-word recurrence (edlib-style): with
+// unit costs, a DP cell off the Ukkonen band |i−j| ≤ k = ⌊eps⌋ has value
+// > eps, so only the word blocks the band intersects need advancing —
+// roughly 2k/64+2 blocks per text character instead of all ⌈m/64⌉.
+//
+// Band maintenance is sound by an overestimate argument. A block first
+// entered by the band's upper edge at text position j is initialised to the
+// all-deletion column (pv all ones, bottom score = the block below's score
+// plus the block's rows); that initialisation is ≥ the true DP values of
+// those rows, which were off-band at j−1. Blocks the band's lower edge has
+// passed are skipped, with hin = +1 fed into the lowest active block —
+// again an overestimate (a horizontal delta never exceeds +1). Overestimates
+// only ever propagate upward-bounded values: any cell whose true value is
+// ≤ eps has an optimal path that stays inside the band (every cell on a
+// ≤ eps path satisfies |i−j| ≤ value ≤ k) and is therefore computed exactly.
+// So a result ≤ eps is exact and a result > eps proves the true distance
+// exceeds eps — precisely the BoundedFunc contract.
+//
+// Callers guarantee len(a) > 64, len(a) ≤ len(b) and len(b)−len(a) ≤ eps.
+func myersBlockBounded(a, b []byte, eps float64) float64 {
+	m, n := len(a), len(b)
+	var band int
+	if eps >= float64(n) {
+		band = n
+	} else if eps > 0 {
+		band = int(eps)
+	}
+	w := (m + 63) >> 6
+	s := blockPool.Get().(*blockScratch)
+	s.grow(w)
+	peq, pv, mv, scores := s.peq, s.pv, s.mv, s.scores
+	for i, c := range a {
+		peq[int(c)*w+(i>>6)] |= 1 << uint(i&63)
+	}
+	lastWord := w - 1
+	lastBit := uint64(1) << uint((m-1)&63)
+	// fb..lb are the active blocks; blocks above lb are entered as the band
+	// climbs, blocks below fb are abandoned as it descends.
+	fb, lb := 0, -1
+	extend := func() {
+		lb++
+		pv[lb] = ^uint64(0)
+		mv[lb] = 0
+		switch {
+		case lb == 0:
+			scores[0] = 64 // bottom row of block 0 in the all-deletion column
+		case lb == lastWord:
+			scores[lb] = scores[lb-1] + m - lastWord*64
+		default:
+			scores[lb] = scores[lb-1] + 64
+		}
+	}
+	for j := 1; j <= n; j++ {
+		// The band at text position j covers rows j−k … j+k.
+		target := j + band
+		if target > m {
+			target = m
+		}
+		for lb < (target-1)>>6 {
+			extend()
+		}
+		for (fb+1)*64 < j-band {
+			fb++
+		}
+		ci := int(b[j-1])
+		row := peq[ci*w : ci*w+w]
+		hin := 1
+		for k := fb; k <= lb; k++ {
+			sbit := uint64(1) << 63
+			if k == lastWord {
+				sbit = lastBit
+			}
+			var sd int
+			pv[k], mv[k], hin, sd = myersStep(pv[k], mv[k], row[k], hin, sbit)
+			scores[k] += sd
+		}
+		if lb == lastWord && float64(scores[lastWord]-(n-j)) > eps {
+			s.release(a, w)
+			return math.Inf(1)
+		}
+	}
+	res := math.Inf(1)
+	if lb == lastWord {
+		res = float64(scores[lastWord])
+	}
+	s.release(a, w)
+	return res
+}
+
+// myersPrepared64 is the shared half of the single-word incremental kernel:
+// the pattern (the database window, ≤ 64 bytes) bit-packed once. States
+// minted from it carry only the two delta words and the running score.
+type myersPrepared64 struct {
+	peq  [256]uint64
+	last uint64
+	m    int
+}
+
+func (p *myersPrepared64) WindowLen() int { return p.m }
+
+func (p *myersPrepared64) NewState() Kernel[byte] {
+	s := &myersState64{p: p}
+	s.Reset()
+	return s
+}
+
+// myersState64 advances the column by one query element per Feed and
+// returns the current bottom-row score — d(fed prefix, w).
+type myersState64 struct {
+	p      *myersPrepared64
 	pv, mv uint64
 	score  int
 }
 
-func newMyersKernel64(w []byte) *myersKernel64 {
-	k := &myersKernel64{m: len(w), last: 1 << uint(len(w)-1)}
-	for i, c := range w {
-		k.peq[c] |= 1 << uint(i)
-	}
-	k.Reset()
-	return k
-}
-
-func (k *myersKernel64) Feed(c byte) float64 {
-	eq := k.peq[c]
-	xv := eq | k.mv
-	xh := (((eq & k.pv) + k.pv) ^ k.pv) | eq
-	ph := k.mv | ^(xh | k.pv)
-	mh := k.pv & xh
-	if ph&k.last != 0 {
-		k.score++
-	} else if mh&k.last != 0 {
-		k.score--
-	}
-	ph = ph<<1 | 1
-	mh <<= 1
-	k.pv = mh | ^(xv | ph)
-	k.mv = ph & xv
+func (k *myersState64) Feed(c byte) float64 {
+	var sd int
+	k.pv, k.mv, _, sd = myersStep(k.pv, k.mv, k.p.peq[c], 1, k.p.last)
+	k.score += sd
 	return float64(k.score)
 }
 
-func (k *myersKernel64) Reset() {
+func (k *myersState64) Reset() {
 	k.pv = ^uint64(0)
 	k.mv = 0
-	k.score = k.m
+	k.score = k.p.m
 }
 
-// myersKernelBlock is the incremental multi-word kernel for windows longer
-// than 64 bytes. Unlike myersBlock it owns its scratch (kernels are reused
-// across many Reset/Feed cycles, so pooling would buy nothing).
-type myersKernelBlock struct {
-	peq     []uint64
-	pv, mv  []uint64
-	xh      []uint64
-	w       int
-	m       int
-	lastBit uint64
-	score   int
-}
-
-func newMyersKernelBlock(pattern []byte) *myersKernelBlock {
-	w := (len(pattern) + 63) >> 6
-	k := &myersKernelBlock{
-		peq: make([]uint64, 256*w),
-		pv:  make([]uint64, w), mv: make([]uint64, w), xh: make([]uint64, w),
-		w: w, m: len(pattern),
-		lastBit: 1 << uint((len(pattern)-1)&63),
+func (k *myersState64) Rebind(p Prepared[byte]) bool {
+	mp, ok := p.(*myersPrepared64)
+	if !ok {
+		return false
 	}
-	for i, c := range pattern {
-		k.peq[int(c)*w+(i>>6)] |= 1 << uint(i&63)
-	}
+	k.p = mp
 	k.Reset()
-	return k
+	return true
 }
 
-func (k *myersKernelBlock) Feed(c byte) float64 {
-	w := k.w
-	row := k.peq[int(c)*w : int(c)*w+w]
-	var carry uint64
-	for i := 0; i < w; i++ {
-		sum, c2 := bits.Add64(row[i]&k.pv[i], k.pv[i], carry)
-		carry = c2
-		k.xh[i] = (sum ^ k.pv[i]) | row[i]
+// myersBlockPrepared is the shared half of the multi-word kernel for
+// windows longer than 64 bytes: the ⌈m/64⌉-word peq table (256·w words,
+// the dominant kernel memory) built once per window.
+type myersBlockPrepared struct {
+	peq     []uint64
+	w, m    int
+	lastBit uint64
+}
+
+func (p *myersBlockPrepared) WindowLen() int { return p.m }
+
+func (p *myersBlockPrepared) NewState() Kernel[byte] {
+	s := &myersBlockState{p: p, pv: make([]uint64, p.w), mv: make([]uint64, p.w)}
+	s.Reset()
+	return s
+}
+
+// myersBlockState carries the per-worker delta vectors (2·w words — a
+// fraction of the shared peq table's 256·w).
+type myersBlockState struct {
+	p      *myersBlockPrepared
+	pv, mv []uint64
+	score  int
+}
+
+func (k *myersBlockState) Feed(c byte) float64 {
+	p := k.p
+	w := p.w
+	row := p.peq[int(c)*w : int(c)*w+w]
+	hin := 1
+	for i := 0; i < w-1; i++ {
+		k.pv[i], k.mv[i], hin, _ = myersStep(k.pv[i], k.mv[i], row[i], hin, 0)
 	}
-	phCarry, mhCarry := uint64(1), uint64(0)
-	for i := 0; i < w; i++ {
-		xv := row[i] | k.mv[i]
-		ph := k.mv[i] | ^(k.xh[i] | k.pv[i])
-		mh := k.pv[i] & k.xh[i]
-		if i == w-1 {
-			if ph&k.lastBit != 0 {
-				k.score++
-			} else if mh&k.lastBit != 0 {
-				k.score--
-			}
-		}
-		phs := ph<<1 | phCarry
-		mhs := mh<<1 | mhCarry
-		phCarry, mhCarry = ph>>63, mh>>63
-		k.pv[i] = mhs | ^(xv | phs)
-		k.mv[i] = phs & xv
-	}
+	var sd int
+	k.pv[w-1], k.mv[w-1], _, sd = myersStep(k.pv[w-1], k.mv[w-1], row[w-1], hin, p.lastBit)
+	k.score += sd
 	return float64(k.score)
 }
 
-func (k *myersKernelBlock) Reset() {
+func (k *myersBlockState) Reset() {
 	for i := range k.pv {
 		k.pv[i] = ^uint64(0)
 		k.mv[i] = 0
 	}
-	k.score = k.m
+	k.score = k.p.m
 }
 
-// myersKernel returns the incremental Levenshtein kernel bound to window w,
-// choosing the single-word or block form by pattern length.
-func myersKernel(w []byte) Kernel[byte] {
+func (k *myersBlockState) Rebind(p Prepared[byte]) bool {
+	mp, ok := p.(*myersBlockPrepared)
+	if !ok {
+		return false
+	}
+	k.p = mp
+	if cap(k.pv) < mp.w {
+		k.pv = make([]uint64, mp.w)
+		k.mv = make([]uint64, mp.w)
+	} else {
+		k.pv = k.pv[:mp.w]
+		k.mv = k.mv[:mp.w]
+	}
+	k.Reset()
+	return true
+}
+
+// myersPrepare builds the incremental Levenshtein kernel preprocessing for
+// window w, choosing the single-word or block form by pattern length.
+func myersPrepare(w []byte) Prepared[byte] {
 	switch {
 	case len(w) == 0:
-		return levenshteinKernel(w)
+		return levenshteinPrepare(w)
 	case len(w) <= 64:
-		return newMyersKernel64(w)
+		p := &myersPrepared64{m: len(w), last: 1 << uint(len(w)-1)}
+		for i, c := range w {
+			p.peq[c] |= 1 << uint(i)
+		}
+		return p
 	default:
-		return newMyersKernelBlock(w)
+		nw := (len(w) + 63) >> 6
+		p := &myersBlockPrepared{
+			peq: make([]uint64, 256*nw),
+			w:   nw, m: len(w),
+			lastBit: 1 << uint((len(w)-1)&63),
+		}
+		for i, c := range w {
+			p.peq[int(c)*nw+(i>>6)] |= 1 << uint(i&63)
+		}
+		return p
 	}
 }
 
 // LevenshteinFastMeasure is LevenshteinFast bundled with the Levenshtein
 // properties (same function, faster evaluation): a consistent metric, with
-// the bit-parallel incremental kernel and score-slack early abandoning.
+// the bit-parallel incremental kernel and banded early abandoning.
 func LevenshteinFastMeasure() Measure[byte] {
 	return Measure[byte]{
-		Name:        "levenshtein-fast",
-		Fn:          LevenshteinFast,
-		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
-		Incremental: myersKernel,
-		Bounded:     levenshteinFastBounded,
+		Name:    "levenshtein-fast",
+		Fn:      LevenshteinFast,
+		Props:   Properties{Consistent: true, Metric: true, LockStep: false},
+		Prepare: myersPrepare,
+		Bounded: levenshteinFastBounded,
 	}
 }
 

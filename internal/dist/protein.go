@@ -90,11 +90,11 @@ func ProteinEdit(a, b []byte) float64 {
 // constant, so the Ukkonen band applies).
 func ProteinEditMeasure() Measure[byte] {
 	return Measure[byte]{
-		Name:        "protein-edit",
-		Fn:          ProteinEdit,
-		Props:       Properties{Consistent: true, Metric: true, LockStep: false},
-		Incremental: proteinKernel,
-		Bounded:     proteinBounded,
+		Name:    "protein-edit",
+		Fn:      ProteinEdit,
+		Props:   Properties{Consistent: true, Metric: true, LockStep: false},
+		Prepare: proteinPrepare,
+		Bounded: proteinBounded,
 	}
 }
 

@@ -67,6 +67,26 @@ type DistFunc[T any] func(a, b T) float64
 // items a query returns.
 type BoundedDistFunc[T any] func(a, b T, eps float64) float64
 
+// BatchEvaluator computes the distances from several probes to one item in
+// a single call — the hook the reference net's batched traversal offers so
+// callers can share evaluation work across probes (the framework feeds
+// probes that share a query offset through one incremental kernel pass;
+// see refnet.BatchRangeEval). idxs are indices into the probe slice the
+// evaluator was constructed over; EvalBatch stores the distance for probe
+// idxs[k] into out[k].
+//
+// bound is the largest distance the traversal acts on exactly (the query
+// radius plus the visited node's cover radius). Values ≤ bound must be
+// exact; values > bound may be anything > bound, mirroring BoundedDistFunc,
+// which lets bounded evaluators abandon mid-computation.
+type BatchEvaluator[T any] interface {
+	EvalBatch(item T, idxs []int32, bound float64, out []float64)
+	// Exact reports whether EvalBatch always returns exact distances, even
+	// above bound. The traversal then keeps over-bound values for triangle
+	// bounds instead of discarding them as approximations.
+	Exact() bool
+}
+
 // Index is the operation set the subsequence-retrieval framework needs
 // from a metric index: incremental construction and range queries.
 type Index[T any] interface {

@@ -40,8 +40,15 @@
 // at the first in-range item — the probe Nearest's radius search issues),
 // KNN (knn.go), and BatchRange (range.go), which walks the hierarchy once
 // for a whole probe set so that concurrent batch queries share traversal
-// work. Nets serialise with Save/Load (serialize.go) without recomputing
-// any distances, and support Delete with invariant repair (delete.go).
+// work. Two capabilities cut the evaluation cost of traversal probes:
+// SetBounded arms an early-abandoning distance (probes evaluate at the
+// query radius plus the node's cover radius, proving subtrees outside at
+// a fraction of a full evaluation), and BatchRangeEval accepts a
+// metric.BatchEvaluator that prices all probes inconclusive at a node in
+// one call — the subsequence framework streams probes sharing a query
+// offset through a single incremental kernel pass there. Nets serialise
+// with Save/Load (serialize.go) without recomputing any distances, and
+// support Delete with invariant repair (delete.go).
 package refnet
 
 import (
@@ -72,11 +79,30 @@ type Net[T any] struct {
 	// are dense on a freshly built or loaded net; deletions leave holes,
 	// which only cost a few unused scratch slots.
 	nextID int32
+	// bounded, when set, is the early-abandoning evaluation of dist used by
+	// range traversals (see SetBounded).
+	bounded metric.BoundedDistFunc[T]
 	// qpool recycles per-query traversal state (flat slices indexed by node
 	// id) so range queries allocate nothing per visited node. sync.Pool
 	// keeps concurrent read-only queries safe.
 	qpool sync.Pool
+	// bpool recycles the batched-traversal scratch (per-probe active lists,
+	// pending evaluation buffers) — see BatchRangeEval.
+	bpool sync.Pool
 }
+
+// SetBounded arms an early-abandoning distance evaluation for range
+// traversals (Range, Exists, BatchRange). fn must agree with the net's
+// DistFunc under the BoundedDistFunc contract. When armed, every child
+// probe is evaluated with threshold eps+ρ (the query radius plus the
+// child's cover radius): an abandoned evaluation proves the whole subtree
+// lies outside the ball, so it is pruned exactly as rule 3 would with the
+// exact distance, at a fraction of the evaluation cost. Abandoned values
+// are inexact, so they are not recorded for the stored-distance triangle
+// bounds — which can shift which later nodes get zero-computation bounds,
+// but never which items a query returns. nil disarms. Not safe to call
+// concurrently with queries.
+func (t *Net[T]) SetBounded(fn metric.BoundedDistFunc[T]) { t.bounded = fn }
 
 // Node is a handle to an item stored in the net, returned by InsertTracked
 // and accepted by Delete. Handles become invalid after the item is deleted.

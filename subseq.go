@@ -68,13 +68,26 @@ type DistanceFunc[E any] = dist.Func[E]
 
 // Measure bundles a distance function with its name, properties
 // (metricity, consistency, lock-step) and optional fast-path capabilities
-// (Incremental kernels, Bounded early-abandoning evaluation).
+// (Prepare incremental kernels, Bounded early-abandoning evaluation).
 type Measure[E any] = dist.Measure[E]
 
 // IncrementalKernel is a stateful evaluator of d(·, w) over growing
-// prefixes, the optional Incremental capability of a Measure; the filter
-// uses it to price all segment lengths at a query offset in one pass.
+// prefixes, minted from a Measure's Prepare capability; the filter uses it
+// to price all segment lengths at a query offset in one pass.
 type IncrementalKernel[E any] = dist.Kernel[E]
+
+// PreparedKernel is the shared immutable half of an incremental kernel —
+// the window binding plus its preprocessing, built once per database window
+// and safe for concurrent use. Mint per-worker mutable kernels with
+// NewState, or rebind one state across windows with BindKernel.
+type PreparedKernel[E any] = dist.Prepared[E]
+
+// BindKernel points state at p, reusing the state's buffers when it came
+// from the same kernel family (no allocation) and minting a fresh state
+// otherwise.
+func BindKernel[E any](state IncrementalKernel[E], p PreparedKernel[E]) IncrementalKernel[E] {
+	return dist.BindKernel(state, p)
+}
 
 // BoundedDistanceFunc is an early-abandoning distance evaluation, the
 // optional Bounded capability of a Measure: exact at or under eps, anything
