@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -33,6 +33,14 @@ bench:
 # bench code compiling and executing without paying measurement time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# serve-smoke is the daemon's end-to-end check: build the real subseqctl
+# binary, start `serve` on a synthetic dataset, issue one query per
+# endpoint over HTTP, verify every JSON shape and /stats, then shut the
+# daemon down gracefully with SIGTERM (TestServeSmokeBinary drives the
+# whole flow).
+serve-smoke:
+	$(GO) test -run TestServeSmokeBinary -count=1 -v ./cmd/subseqctl
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

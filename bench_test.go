@@ -6,6 +6,7 @@
 package subseq_test
 
 import (
+	"context"
 	"testing"
 
 	subseq "repro"
@@ -211,6 +212,71 @@ func BenchmarkMatcherQueryPool(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ms := range pool.FindAll(qs, 2) {
+			sinkRows += len(ms)
+		}
+	}
+}
+
+// --- Streaming-engine benchmarks ---
+
+// BenchmarkMatcherFilterBatch is the batch-barrier baseline the streaming
+// engine is measured against: the protein query set answered by one
+// FilterHitsBatch call (shared traversal, single-threaded).
+func BenchmarkMatcherFilterBatch(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, hits := range mt.FilterHitsBatch(qs, 2) {
+			sinkRows += len(hits)
+		}
+	}
+}
+
+// BenchmarkMatcherStreamFilter answers the same query set through the
+// streaming submit path: per-query futures, with the engine coalescing the
+// burst back into shared traversals. The acceptance bar for the serving
+// path is ≥ 90% of BenchmarkMatcherFilterBatch's throughput; in practice
+// the worker parallelism puts it well above.
+func BenchmarkMatcherStreamFilter(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	pool := subseq.NewQueryPool(mt, 0)
+	defer pool.Close()
+	ctx := context.Background()
+	futures := make([]*subseq.Future[[]subseq.Hit[byte]], len(qs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, q := range qs {
+			futures[j] = pool.SubmitFilter(ctx, q, 2)
+		}
+		for _, f := range futures {
+			hits, err := f.Await(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkRows += len(hits)
+		}
+	}
+}
+
+// BenchmarkMatcherStreamFindAll is the full streamed Type I pipeline
+// (filter + verify) — the configuration `subseqctl serve` runs per
+// /query/findall request.
+func BenchmarkMatcherStreamFindAll(b *testing.B) {
+	mt, qs := proteinBatch(b, 2000, 16)
+	pool := subseq.NewQueryPool(mt, 0)
+	defer pool.Close()
+	ctx := context.Background()
+	futures := make([]*subseq.Future[[]subseq.Match], len(qs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, q := range qs {
+			futures[j] = pool.Submit(ctx, q, 2)
+		}
+		for _, f := range futures {
+			ms, err := f.Await(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
 			sinkRows += len(ms)
 		}
 	}

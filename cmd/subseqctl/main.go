@@ -22,10 +22,20 @@
 //	    one index traversal across the query set; with -workers > 1 the
 //	    batch is fanned over a QueryPool's worker goroutines.
 //
+//	subseqctl serve -dataset proteins -backend refnet -addr 127.0.0.1:8077
+//	    run the long-lived HTTP/JSON daemon: build the session once, then
+//	    answer findall/longest/nearest/filter queries over POST /query/*,
+//	    streaming every request through the QueryPool's Submit API so
+//	    concurrent requests coalesce into shared index traversals.
+//	    GET /stats reports the resolved configuration, the distance-call
+//	    tallies and the streaming engine's counters. SIGINT/SIGTERM shut
+//	    down gracefully.
+//
 //	subseqctl distances -dataset traj -measure dfd -samples 10000
 //	    print the pairwise window distance distribution.
 //
-// See docs/CLI.md for the full reference.
+// See docs/CLI.md for the full CLI reference and docs/SERVING.md for the
+// serving architecture and HTTP API.
 package main
 
 import (
@@ -48,6 +58,8 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "query":
 		cmdQuery(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "distances":
 		cmdDistances(os.Args[2:])
 	default:
@@ -56,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: subseqctl <list|stats|query|distances> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: subseqctl <list|stats|query|serve|distances> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,410 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/registry"
+)
+
+// subseqctl serve: the long-lived serving path. A session (dataset ×
+// measure × backend, resolved by the registry exactly as the query
+// subcommand resolves it) is built once at startup; every request is then
+// streamed through a QueryPool's Submit API, so concurrent requests
+// coalesce into shared index traversals and a slow client cannot queue
+// unbounded work (the pool's in-flight budget is the backpressure).
+// docs/SERVING.md is the full API reference.
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	spec := commonFlags(fs)
+	addr := fs.String("addr", registry.DefaultServeAddr, "TCP listen address (host:port; :0 picks a free port)")
+	workers := fs.Int("workers", 0, "streaming worker goroutines; 0 selects GOMAXPROCS")
+	queue := fs.Int("queue", 0, "bounded in-flight submissions (backpressure); 0 selects the default")
+	fs.Parse(args)
+	srvSpec := registry.ServerSpec{SessionSpec: *spec, Addr: *addr, Workers: *workers, QueueDepth: *queue}
+	s, err := newSession(*spec)
+	if err != nil {
+		fail(err)
+	}
+	qs, err := s.newServer(srvSpec)
+	if err != nil {
+		fail(err)
+	}
+	defer qs.close()
+	ln, err := net.Listen("tcp", qs.config().Addr)
+	if err != nil {
+		fail(err)
+	}
+	// The bound address is printed and echoed on /stats (not the requested
+	// one) so scripts may listen on :0 and scrape the port.
+	qs.setAddr(ln.Addr().String())
+	fmt.Printf("subseqctl: serving %s on http://%s\n", s.describe(), ln.Addr())
+	hs := &http.Server{Handler: qs.handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		// Graceful shutdown: stop accepting, give in-flight requests a
+		// grace period, then drain the streaming engine.
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-done
+	fmt.Println("subseqctl: shut down")
+}
+
+// queryServer is the untyped face of a typedServer, mirroring how session
+// hides typedSession's element type from the subcommands.
+type queryServer interface {
+	handler() http.Handler
+	config() registry.ServerConfig
+	// setAddr records the address the listener actually bound (it differs
+	// from the requested one under -addr :0), so /stats echoes a usable
+	// address. Call before serving requests.
+	setAddr(addr string)
+	close()
+}
+
+// typedServer owns the long-lived serving state: the matcher, the
+// streaming pool and the resolved configuration it echoes on /stats.
+type typedServer[E any] struct {
+	sess  *typedSession[E]
+	cfg   registry.ServerConfig
+	mt    *core.Matcher[E]
+	pool  *core.QueryPool[E]
+	mux   *http.ServeMux
+	start time.Time
+}
+
+func (s *typedSession[E]) newServer(spec registry.ServerSpec) (queryServer, error) {
+	cfg, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	mt, err := s.matcher()
+	if err != nil {
+		return nil, err
+	}
+	srv := &typedServer[E]{
+		sess: s, cfg: cfg, mt: mt,
+		pool:  core.NewQueryPool(mt, cfg.Workers, core.WithQueueDepth(cfg.QueueDepth)),
+		start: time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query/findall", srv.handleFindAll)
+	mux.HandleFunc("POST /query/longest", srv.handleLongest)
+	mux.HandleFunc("POST /query/nearest", srv.handleNearest)
+	mux.HandleFunc("POST /query/filter", srv.handleFilter)
+	mux.HandleFunc("GET /stats", srv.handleStats)
+	mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	srv.mux = mux
+	return srv, nil
+}
+
+func (srv *typedServer[E]) handler() http.Handler         { return srv.mux }
+func (srv *typedServer[E]) config() registry.ServerConfig { return srv.cfg }
+func (srv *typedServer[E]) setAddr(addr string)           { srv.cfg.Addr = addr }
+func (srv *typedServer[E]) close()                        { srv.pool.Close() }
+
+// --- Wire formats (documented in docs/SERVING.md) ---
+
+// queryRequest is the body of every /query/* POST. Query's encoding
+// depends on the dataset's element type: a JSON string for byte datasets,
+// an array of numbers for float64, an array of [x, y] pairs for point2.
+type queryRequest struct {
+	Query json.RawMessage `json:"query"`
+	// Eps is the query radius (findall, longest, filter).
+	Eps *float64 `json:"eps"`
+	// EpsMax/EpsInc tune nearest (Type III); eps_inc defaults to
+	// eps_max/16.
+	EpsMax *float64 `json:"eps_max"`
+	EpsInc *float64 `json:"eps_inc"`
+}
+
+// wireMatch is core.Match with stable JSON names.
+type wireMatch struct {
+	SeqID  int     `json:"seq_id"`
+	QStart int     `json:"q_start"`
+	QEnd   int     `json:"q_end"`
+	XStart int     `json:"x_start"`
+	XEnd   int     `json:"x_end"`
+	Dist   float64 `json:"dist"`
+}
+
+func toWireMatch(m core.Match) wireMatch {
+	return wireMatch{SeqID: m.SeqID, QStart: m.QStart, QEnd: m.QEnd, XStart: m.XStart, XEnd: m.XEnd, Dist: m.Dist}
+}
+
+// wireHit is one filtered segment↔window pair.
+type wireHit struct {
+	SeqID       int `json:"seq_id"`
+	WindowStart int `json:"window_start"`
+	WindowEnd   int `json:"window_end"`
+	SegStart    int `json:"segment_start"`
+	SegEnd      int `json:"segment_end"`
+}
+
+type matchesResponse struct {
+	Count   int         `json:"count"`
+	Matches []wireMatch `json:"matches"`
+}
+
+type bestResponse struct {
+	Found bool       `json:"found"`
+	Match *wireMatch `json:"match,omitempty"`
+}
+
+type hitsResponse struct {
+	Count int       `json:"count"`
+	Hits  []wireHit `json:"hits"`
+}
+
+type statsResponse struct {
+	Config        registry.ServerConfig `json:"config"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	NumWindows    int                   `json:"num_windows"`
+	// DistanceCalls surfaces the matcher's striped distance-call tallies:
+	// the paper's hardware-independent cost accounting, live.
+	DistanceCalls struct {
+		Build  int64 `json:"build"`
+		Filter int64 `json:"filter"`
+		Verify int64 `json:"verify"`
+	} `json:"distance_calls"`
+	Stream core.StreamStats `json:"stream"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxRequestBytes caps a /query/* request body. The streaming engine's
+// queue depth bounds in-flight queries; this bounds what any single
+// request may allocate before it even becomes one.
+const maxRequestBytes = 8 << 20
+
+// decodeQuery parses the request body and its element-typed query payload.
+func (srv *typedServer[E]) decodeQuery(w http.ResponseWriter, r *http.Request) (queryRequest, seq.Sequence[E], error) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	if len(req.Query) == 0 {
+		return req, nil, errors.New(`missing "query"`)
+	}
+	q, err := decodeSeq[E](req.Query)
+	if err != nil {
+		return req, nil, err
+	}
+	return req, q, nil
+}
+
+// decodeSeq decodes a query sequence from its element-typed JSON encoding:
+// a string for byte, an array of numbers for float64, an array of [x, y]
+// pairs for point2 — matching how the dataset families are described in
+// `subseqctl list`.
+func decodeSeq[E any](raw json.RawMessage) (seq.Sequence[E], error) {
+	switch any((*E)(nil)).(type) {
+	case *byte:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf(`"query" must be a JSON string for byte datasets: %w`, err)
+		}
+		return any(seq.Sequence[byte](s)).(seq.Sequence[E]), nil
+	case *float64:
+		var v []float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf(`"query" must be a JSON array of numbers for float64 datasets: %w`, err)
+		}
+		return any(seq.Sequence[float64](v)).(seq.Sequence[E]), nil
+	case *seq.Point2:
+		var v [][2]float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf(`"query" must be a JSON array of [x, y] pairs for point2 datasets: %w`, err)
+		}
+		pts := make(seq.Sequence[seq.Point2], len(v))
+		for i, p := range v {
+			pts[i] = seq.Point2{X: p[0], Y: p[1]}
+		}
+		return any(pts).(seq.Sequence[E]), nil
+	default:
+		return nil, fmt.Errorf("unsupported element type %T", *new(E))
+	}
+}
+
+// needEps validates the radius shared by findall, longest and filter.
+func needEps(req queryRequest) (float64, error) {
+	if req.Eps == nil {
+		return 0, errors.New(`missing "eps"`)
+	}
+	if *req.Eps < 0 {
+		return 0, errors.New(`"eps" must be >= 0`)
+	}
+	return *req.Eps, nil
+}
+
+// submitErrStatus maps a streaming-submission error to an HTTP status:
+// client-abandoned contexts map to 499 (the de-facto "client closed
+// request"), a closed pool to 503.
+func submitErrStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499
+	case errors.Is(err, core.ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (srv *typedServer[E]) handleFindAll(w http.ResponseWriter, r *http.Request) {
+	req, q, err := srv.decodeQuery(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := needEps(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, err := srv.pool.Submit(r.Context(), q, eps).Await(r.Context())
+	if err != nil {
+		writeErr(w, submitErrStatus(err), err)
+		return
+	}
+	resp := matchesResponse{Count: len(ms), Matches: make([]wireMatch, len(ms))}
+	for i, m := range ms {
+		resp.Matches[i] = toWireMatch(m)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *typedServer[E]) handleLongest(w http.ResponseWriter, r *http.Request) {
+	req, q, err := srv.decodeQuery(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := needEps(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := srv.pool.SubmitLongest(r.Context(), q, eps).Await(r.Context())
+	if err != nil {
+		writeErr(w, submitErrStatus(err), err)
+		return
+	}
+	resp := bestResponse{Found: res.Found}
+	if res.Found {
+		m := toWireMatch(res.Match)
+		resp.Match = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *typedServer[E]) handleNearest(w http.ResponseWriter, r *http.Request) {
+	req, q, err := srv.decodeQuery(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.EpsMax == nil || *req.EpsMax <= 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`nearest requires "eps_max" > 0`))
+		return
+	}
+	opts := core.NearestOptions{EpsMax: *req.EpsMax, EpsInc: *req.EpsMax / 16}
+	if req.EpsInc != nil {
+		opts.EpsInc = *req.EpsInc
+	}
+	if opts.EpsInc <= 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`"eps_inc" must be > 0`))
+		return
+	}
+	res, err := srv.pool.SubmitNearest(r.Context(), q, opts).Await(r.Context())
+	if err != nil {
+		writeErr(w, submitErrStatus(err), err)
+		return
+	}
+	resp := bestResponse{Found: res.Found}
+	if res.Found {
+		m := toWireMatch(res.Match)
+		resp.Match = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *typedServer[E]) handleFilter(w http.ResponseWriter, r *http.Request) {
+	req, q, err := srv.decodeQuery(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	eps, err := needEps(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	hits, err := srv.pool.SubmitFilter(r.Context(), q, eps).Await(r.Context())
+	if err != nil {
+		writeErr(w, submitErrStatus(err), err)
+		return
+	}
+	resp := hitsResponse{Count: len(hits), Hits: make([]wireHit, len(hits))}
+	for i, h := range hits {
+		resp.Hits[i] = wireHit{
+			SeqID: h.Window.SeqID, WindowStart: h.Window.Start, WindowEnd: h.Window.End(),
+			SegStart: h.Segment.Start, SegEnd: h.Segment.End(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *typedServer[E]) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Config:        srv.cfg,
+		UptimeSeconds: time.Since(srv.start).Seconds(),
+		NumWindows:    srv.mt.NumWindows(),
+		Stream:        srv.pool.StreamStats(),
+	}
+	resp.DistanceCalls.Build = srv.mt.BuildDistanceCalls()
+	resp.DistanceCalls.Filter = srv.mt.FilterDistanceCalls()
+	resp.DistanceCalls.Verify = srv.mt.VerifyDistanceCalls()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *typedServer[E]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "num_windows": srv.mt.NumWindows()})
+}

@@ -1,0 +1,382 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/registry"
+)
+
+// newTestServer builds an in-process serving stack over a tiny session,
+// wrapped in an httptest.Server. The returned cleanup closes the pool.
+func newTestServer(t *testing.T, dataset, measure, backend string) (*httptest.Server, registry.ServerConfig) {
+	t.Helper()
+	spec := newSpec(dataset, measure, backend)
+	s, err := newSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.newServer(registry.ServerSpec{SessionSpec: spec, Workers: 2, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(qs.handler())
+	t.Cleanup(func() { ts.Close(); qs.close() })
+	return ts, qs.config()
+}
+
+// postJSON POSTs body to path and decodes the JSON response into out,
+// returning the HTTP status.
+func postJSON(t *testing.T, ts *httptest.Server, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s: invalid JSON %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON GETs path and decodes the JSON response into out.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", path, raw, err)
+	}
+	return resp.StatusCode
+}
+
+// All four query endpoints answer end to end on a byte dataset, and their
+// answers agree with the library run directly on the same session.
+func TestServeEndpointsByteDataset(t *testing.T) {
+	ts, _ := newTestServer(t, "proteins", "levenshtein-fast", "refnet")
+	// The query is a verbatim subsequence of the generated dataset (same
+	// family/seed as newSpec), so exact matches are guaranteed to exist.
+	ds, err := registry.GenerateDataset[byte]("proteins", 30, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fmt.Sprintf("%q", ds.Sequences[0][:16])
+
+	var fa matchesResponse
+	if code := postJSON(t, ts, "/query/findall", `{"query":`+q+`,"eps":2}`, &fa); code != http.StatusOK {
+		t.Fatalf("findall status %d", code)
+	}
+	if fa.Count != len(fa.Matches) {
+		t.Fatalf("findall count %d != %d matches", fa.Count, len(fa.Matches))
+	}
+	if fa.Count == 0 {
+		t.Fatal("findall returned no matches for a verbatim database subsequence")
+	}
+
+	var lg bestResponse
+	if code := postJSON(t, ts, "/query/longest", `{"query":`+q+`,"eps":2}`, &lg); code != http.StatusOK {
+		t.Fatalf("longest status %d", code)
+	}
+	if !lg.Found || lg.Match == nil {
+		t.Fatal("longest found nothing for a verbatim database subsequence")
+	}
+	if lg.Match.QEnd <= lg.Match.QStart {
+		t.Fatalf("longest returned empty span %+v", lg.Match)
+	}
+
+	var nr bestResponse
+	if code := postJSON(t, ts, "/query/nearest", `{"query":`+q+`,"eps_max":4}`, &nr); code != http.StatusOK {
+		t.Fatalf("nearest status %d", code)
+	}
+	if !nr.Found || nr.Match == nil {
+		t.Fatal("nearest found nothing for a verbatim database subsequence")
+	}
+
+	var fl hitsResponse
+	if code := postJSON(t, ts, "/query/filter", `{"query":`+q+`,"eps":2}`, &fl); code != http.StatusOK {
+		t.Fatalf("filter status %d", code)
+	}
+	if fl.Count != len(fl.Hits) || fl.Count == 0 {
+		t.Fatalf("filter count %d, hits %d", fl.Count, len(fl.Hits))
+	}
+	for _, h := range fl.Hits {
+		if h.WindowEnd <= h.WindowStart || h.SegEnd <= h.SegStart {
+			t.Fatalf("degenerate hit %+v", h)
+		}
+	}
+}
+
+// The float64 and point2 datasets decode their own query encodings.
+func TestServeElementTypedQueries(t *testing.T) {
+	ts, _ := newTestServer(t, "songs", "dfd", "refnet")
+	var fl hitsResponse
+	if code := postJSON(t, ts, "/query/filter",
+		`{"query":[1,2,3,4,5,6,7,8,9,10,11,0,1,2],"eps":4}`, &fl); code != http.StatusOK {
+		t.Fatalf("songs filter status %d", code)
+	}
+
+	tp, _ := newTestServer(t, "traj", "erp", "refnet")
+	var fa matchesResponse
+	if code := postJSON(t, tp, "/query/findall",
+		`{"query":[[0,0],[1,1],[2,2],[3,3],[4,4],[5,5],[6,6],[7,7],[8,8],[9,9],[10,10],[11,11]],"eps":40}`,
+		&fa); code != http.StatusOK {
+		t.Fatalf("traj findall status %d", code)
+	}
+	// Wrong encoding for the element type is a 400, not a panic.
+	var er errorResponse
+	if code := postJSON(t, tp, "/query/findall", `{"query":"ABC","eps":1}`, &er); code != http.StatusBadRequest {
+		t.Fatalf("mistyped query status %d, want 400", code)
+	}
+	if er.Error == "" {
+		t.Fatal("mistyped query produced no error message")
+	}
+}
+
+// The serving answers must be bit-identical to the library's: run the same
+// query through the endpoint and through Matcher.FindAll directly.
+func TestServeMatchesLibrary(t *testing.T) {
+	spec := newSpec("proteins", "levenshtein-fast", "refnet")
+	mt, ds, err := registry.NewMatcher[byte](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]byte, 16)
+	copy(q, ds.Sequences[0][:16])
+	want := mt.FindAll(q, 5)
+
+	ts, _ := newTestServer(t, "proteins", "levenshtein-fast", "refnet")
+	var fa matchesResponse
+	if code := postJSON(t, ts, "/query/findall",
+		fmt.Sprintf(`{"query":%q,"eps":5}`, q), &fa); code != http.StatusOK {
+		t.Fatalf("findall status %d", code)
+	}
+	if len(want) != fa.Count {
+		t.Fatalf("endpoint %d matches, library %d", fa.Count, len(want))
+	}
+	for i, m := range want {
+		w := fa.Matches[i]
+		if w.SeqID != m.SeqID || w.QStart != m.QStart || w.QEnd != m.QEnd ||
+			w.XStart != m.XStart || w.XEnd != m.XEnd || w.Dist != m.Dist {
+			t.Fatalf("match %d: endpoint %+v, library %v", i, w, m)
+		}
+	}
+}
+
+// Bad requests are 400s with JSON error bodies; wrong methods are 405s.
+func TestServeRequestValidation(t *testing.T) {
+	ts, _ := newTestServer(t, "proteins", "", "refnet")
+	cases := []struct {
+		path, body string
+	}{
+		{"/query/findall", `{}`},                                     // missing query
+		{"/query/findall", `{"query":"AC"}`},                         // missing eps
+		{"/query/findall", `{"query":"AC","eps":-1}`},                // negative eps
+		{"/query/findall", `not json`},                               // malformed body
+		{"/query/findall", `{"query":"AC","epsilon":1}`},             // unknown field
+		{"/query/nearest", `{"query":"AC"}`},                         // missing eps_max
+		{"/query/nearest", `{"query":"AC","eps_max":-2}`},            // bad eps_max
+		{"/query/nearest", `{"query":"AC","eps_max":2,"eps_inc":0}`}, // bad eps_inc
+		{"/query/filter", `{"query":[1,2],"eps":1}`},                 // wrong element encoding
+	}
+	for _, c := range cases {
+		var er errorResponse
+		if code := postJSON(t, ts, c.path, c.body, &er); code != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", c.path, c.body, code)
+		} else if er.Error == "" {
+			t.Errorf("POST %s %s: empty error body", c.path, c.body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/query/findall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query/findall: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// /stats echoes the resolved configuration and live counters; /healthz
+// reports readiness. After queries, the distance tallies and streaming
+// counters must have moved.
+func TestServeStats(t *testing.T) {
+	ts, cfg := newTestServer(t, "proteins", "levenshtein-fast", "covertree")
+	var health struct {
+		OK         bool `json:"ok"`
+		NumWindows int  `json:"num_windows"`
+	}
+	if code := getJSON(t, ts, "/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz = %+v (status %d)", health, code)
+	}
+	for i := 0; i < 3; i++ {
+		var fa matchesResponse
+		postJSON(t, ts, "/query/findall", `{"query":"ACDEFGHIKLMNPQRS","eps":6}`, &fa)
+	}
+	var st statsResponse
+	if code := getJSON(t, ts, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Config.Measure.Name != cfg.Measure.Name || st.Config.Backend.Name != "covertree" {
+		t.Fatalf("stats config %+v does not echo the session", st.Config)
+	}
+	if st.Config.Lambda != 2*st.Config.WindowLen {
+		t.Fatalf("stats lambda %d != 2×%d", st.Config.Lambda, st.Config.WindowLen)
+	}
+	if st.NumWindows != health.NumWindows {
+		t.Fatalf("stats windows %d, healthz windows %d", st.NumWindows, health.NumWindows)
+	}
+	if st.DistanceCalls.Build <= 0 || st.DistanceCalls.Filter <= 0 {
+		t.Fatalf("distance tallies did not move: %+v", st.DistanceCalls)
+	}
+	if st.Stream.Submitted < 3 || st.Stream.Completed < 3 {
+		t.Fatalf("stream counters did not move: %+v", st.Stream)
+	}
+	if st.Stream.Workers != 2 || st.Stream.QueueDepth != 16 {
+		t.Fatalf("stream config %+v does not echo the spec", st.Stream)
+	}
+}
+
+// TestServeSmokeBinary is the end-to-end smoke: build the real subseqctl
+// binary, start `serve` on a synthetic dataset, issue one query per
+// endpoint over real HTTP, check every JSON shape, then shut the daemon
+// down gracefully with SIGTERM. CI runs this via `make serve-smoke`.
+func TestServeSmokeBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "subseqctl")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building subseqctl: %v", err)
+	}
+	cmd := exec.Command(bin, "serve",
+		"-addr", "127.0.0.1:0", "-dataset", "proteins",
+		"-windows", "200", "-windowlen", "10", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints its resolved address; scrape the port from it.
+	addrRE := regexp.MustCompile(`on http://(\S+)`)
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never printed its address: %v", sc.Err())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("POST %s: invalid JSON %q: %v", path, raw, err)
+		}
+		return m
+	}
+	q := `"ACDEFGHIKLMNPQRSTVWY"`
+	for path, keys := range map[string][]string{
+		"/query/findall": {"count", "matches"},
+		"/query/longest": {"found"},
+		"/query/filter":  {"count", "hits"},
+	} {
+		m := post(path, `{"query":`+q+`,"eps":8}`)
+		for _, k := range keys {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("%s response lacks %q: %v", path, k, m)
+			}
+		}
+	}
+	if m := post("/query/nearest", `{"query":`+q+`,"eps_max":10}`); m["found"] == nil {
+		t.Fatalf("nearest response lacks \"found\": %v", m)
+	}
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st statsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("/stats: invalid JSON %q: %v", raw, err)
+	}
+	if st.Stream.Completed < 4 {
+		t.Fatalf("/stats reports %d completed submissions, want >= 4", st.Stream.Completed)
+	}
+	// Under -addr :0 the daemon must echo the address it actually bound,
+	// not the requested one.
+	if want := strings.TrimPrefix(base, "http://"); st.Config.Addr != want {
+		t.Fatalf("/stats addr = %q, want bound address %q", st.Config.Addr, want)
+	}
+	if !bytes.Contains(raw, []byte(`"measure"`)) || !bytes.Contains(raw, []byte(`"distance_calls"`)) {
+		t.Fatalf("/stats body lacks config/tally sections: %s", raw)
+	}
+
+	// Graceful shutdown: SIGTERM, then the process must exit cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- cmd.Wait() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatalf("daemon exited with %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down within 15s of SIGTERM")
+	}
+}

@@ -29,6 +29,9 @@ type session interface {
 	netStats() (refnet.Stats, []struct{ Level, Count int })
 	distanceSample(samples int) []float64
 	runQuery(opts queryOpts) (string, error)
+	// newServer builds the long-lived serving state behind `subseqctl
+	// serve` (see serve.go): matcher, streaming pool and HTTP handlers.
+	newServer(spec registry.ServerSpec) (queryServer, error)
 }
 
 // queryOpts carries the query subcommand's flags.

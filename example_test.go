@@ -1,6 +1,7 @@
 package subseq_test
 
 import (
+	"context"
 	"fmt"
 
 	subseq "repro"
@@ -60,6 +61,53 @@ func ExampleNewQueryPool() {
 	// Output:
 	// query 0: found=true span=12
 	// query 1: found=true span=12
+}
+
+// Streaming queries through a pool: each submission returns a Future
+// immediately, concurrent submissions at the same radius coalesce into one
+// shared index traversal, and every future resolves to exactly the
+// sequential answer. This is the serving shape behind `subseqctl serve`.
+func ExampleQueryPool_Submit() {
+	db := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("AAAABBBBCCCCDDDDEEEEFFFF"),
+		subseq.Sequence[byte]("XXXXCCCCDDDDEEEEYYYYZZZZ"),
+	}
+	matcher, err := subseq.NewMatcher(
+		subseq.LevenshteinMeasure[byte](),
+		subseq.Config{Params: subseq.Params{Lambda: 8, Lambda0: 1}},
+		db,
+	)
+	if err != nil {
+		panic(err)
+	}
+	pool := subseq.NewQueryPool(matcher, 2, subseq.WithQueueDepth(64))
+	defer pool.Close()
+
+	ctx := context.Background()
+	queries := []subseq.Sequence[byte]{
+		subseq.Sequence[byte]("PPPPCCCCDDDDEEEEQQQQ"),
+		subseq.Sequence[byte]("MMMMAAAABBBBCCCCNNNN"),
+	}
+	futures := make([]*subseq.Future[[]subseq.Match], len(queries))
+	for i, q := range queries {
+		futures[i] = pool.Submit(ctx, q, 0) // Type I, streamed
+	}
+	for i, f := range futures {
+		matches, err := f.Await(ctx)
+		if err != nil {
+			panic(err)
+		}
+		longest := 0
+		for _, m := range matches {
+			if m.QLen() > longest {
+				longest = m.QLen()
+			}
+		}
+		fmt.Printf("query %d: %d pairs, longest span %d\n", i, len(matches), longest)
+	}
+	// Output:
+	// query 0: 30 pairs, longest span 12
+	// query 1: 15 pairs, longest span 12
 }
 
 // Recovering an optimal DTW alignment: each coupling pairs one element of

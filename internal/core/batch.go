@@ -152,23 +152,84 @@ func (mt *Matcher[E]) LongestBatch(qs []seq.Sequence[E], eps float64) ([]Match, 
 }
 
 // QueryPool drives a Matcher from a fixed set of worker goroutines,
-// answering large query batches with multi-core throughput. Workers claim
-// contiguous query chunks off a shared cursor and answer each chunk with
-// the batched sequential path, so index-traversal sharing and parallelism
-// compose. A QueryPool is stateless between calls and safe for concurrent
-// use; construct once and reuse.
+// answering large query batches with multi-core throughput. It has two
+// faces over one worker budget:
+//
+//   - The batch-barrier methods (FilterHits, FindAll, Longest, Nearest)
+//     take a complete query slice and block until every answer is back.
+//     Workers claim contiguous query chunks off a shared cursor and answer
+//     each chunk with the batched sequential path, so index-traversal
+//     sharing and parallelism compose. These methods are stateless between
+//     calls and safe for concurrent use.
+//   - The streaming methods (Submit, SubmitFilter, SubmitLongest,
+//     SubmitNearest — see stream.go) accept queries one at a time and
+//     return per-query Futures, answering them from a long-lived worker
+//     set that coalesces concurrent submissions into the same shared
+//     traversals. This is the serving shape: bounded in-flight queue,
+//     context cancellation, graceful Close.
+//
+// Construct once and reuse; both faces may be used concurrently.
 type QueryPool[E any] struct {
-	mt      *Matcher[E]
-	workers int
+	mt          *Matcher[E]
+	workers     int
+	queueDepth  int
+	maxCoalesce int
+
+	// streaming is the lazily-started engine behind the Submit methods.
+	streaming streamState[E]
+}
+
+// poolConfig carries the streaming-engine knobs a PoolOption may set —
+// the one place option fields live, so an option cannot silently set a
+// field the pool constructor does not read.
+type poolConfig struct {
+	queueDepth  int
+	maxCoalesce int
+}
+
+// PoolOption tunes a QueryPool beyond its worker count.
+type PoolOption func(*poolConfig)
+
+// WithQueueDepth bounds the streaming engine's in-flight submissions
+// (submitted but not completed); Submit blocks once the bound is reached.
+// The default is 1024. Values < 1 are ignored.
+func WithQueueDepth(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.queueDepth = n
+		}
+	}
+}
+
+// WithMaxCoalesce caps how many streaming submissions one worker claim may
+// answer in a single batched call (default 64). Raising it trades the
+// latency of a claim's first member for more traversal sharing under very
+// large bursts; FilterHitsBatch re-chunks internally either way, so
+// throughput is insensitive beyond a few dozen. Values < 1 are ignored.
+func WithMaxCoalesce(n int) PoolOption {
+	return func(c *poolConfig) {
+		if n >= 1 {
+			c.maxCoalesce = n
+		}
+	}
 }
 
 // NewQueryPool returns a pool of the given concurrency over mt; workers
-// ≤ 0 selects GOMAXPROCS.
-func NewQueryPool[E any](mt *Matcher[E], workers int) *QueryPool[E] {
+// ≤ 0 selects GOMAXPROCS. Options tune the streaming engine; the batch
+// methods ignore them.
+func NewQueryPool[E any](mt *Matcher[E], workers int, opts ...PoolOption) *QueryPool[E] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &QueryPool[E]{mt: mt, workers: workers}
+	cfg := poolConfig{queueDepth: DefaultQueueDepth, maxCoalesce: defaultMaxCoalesce}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &QueryPool[E]{
+		mt: mt, workers: workers,
+		queueDepth:  cfg.queueDepth,
+		maxCoalesce: cfg.maxCoalesce,
+	}
 }
 
 // Workers reports the pool's concurrency.

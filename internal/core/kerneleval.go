@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/metric"
@@ -23,33 +24,51 @@ import (
 //
 // Memory discipline mirrors the linear backend: the immutable window
 // preprocessing (dist.Prepared — Myers peq tables, edit base rows) is built
-// once per window and shared matcher-wide (preparedTables), while each
-// evaluator carries a single rebindable kernel state. Steady-state kernel
-// memory is therefore O(windows) + O(concurrent evaluators), never
-// O(windows × workers).
+// lazily, once per window on first touch, and shared matcher-wide
+// (preparedAt), while each evaluator carries a single rebindable kernel
+// state. Steady-state kernel memory is therefore O(touched windows) +
+// O(concurrent evaluators), never O(windows × workers) — and a selective
+// workload never pays for windows its traversals skip.
 
-// preparedTables lazily builds, once per matcher, the shared immutable
-// kernel preprocessing of every indexed window, plus the window→index map
-// (keyed like the verifier's winKey, by sequence and ordinal) the evaluator
-// resolves items through. Requires measure.Prepare != nil.
-func (mt *Matcher[E]) preparedTables() []dist.Prepared[E] {
+// preparedSlot is one window's share of the prepared-table array: the
+// preprocessing plus the once that builds it on first touch. Building
+// lazily matters for serving workloads — a selective query stream over a
+// large index touches a sliver of the windows, and eager construction
+// would pay O(windows) preprocessing (Myers peq tables are ~2KB per
+// 64-byte window) at the first query.
+type preparedSlot[E any] struct {
+	once sync.Once
+	p    dist.Prepared[E]
+}
+
+// preparedInit builds, once per matcher, the empty slot array and the
+// window→slot map (keyed like the verifier's winKey, by sequence and
+// ordinal) — no Prepare calls happen here; slots fill on first touch.
+// Requires measure.Prepare != nil.
+func (mt *Matcher[E]) preparedInit() {
 	mt.preparedOnce.Do(func() {
-		prepared := make([]dist.Prepared[E], len(mt.windows))
+		mt.prepared = make([]preparedSlot[E], len(mt.windows))
 		index := make(map[winKey]int32, len(mt.windows))
 		for i, w := range mt.windows {
-			prepared[i] = mt.measure.Prepare(w.Data)
 			index[winKey{w.SeqID, w.Ord}] = int32(i)
 		}
 		mt.winIndex = index
-		mt.prepared = prepared
 	})
-	return mt.prepared
+}
+
+// preparedAt resolves slot i, building its preprocessing on first touch.
+// Safe for concurrent use: the winning goroutine builds, the rest wait on
+// the slot's once and read the published value.
+func (mt *Matcher[E]) preparedAt(i int32) dist.Prepared[E] {
+	s := &mt.prepared[i]
+	s.once.Do(func() { s.p = mt.measure.Prepare(mt.windows[i].Data) })
+	return s.p
 }
 
 // preparedFor resolves the shared preprocessing of an indexed window.
 func (mt *Matcher[E]) preparedFor(w seq.Window[E]) dist.Prepared[E] {
-	prepared := mt.preparedTables()
-	return prepared[mt.winIndex[winKey{w.SeqID, w.Ord}]]
+	mt.preparedInit()
+	return mt.preparedAt(mt.winIndex[winKey{w.SeqID, w.Ord}])
 }
 
 // kernelTraversal reports whether index traversals should evaluate probes

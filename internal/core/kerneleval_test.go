@@ -116,23 +116,30 @@ func TestPreparedTablesSharedAcrossWorkers(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	prepared := mt.preparedTables()
-	if len(prepared) != len(mt.windows) {
-		t.Fatalf("prepared tables cover %d windows, want %d", len(prepared), len(mt.windows))
+	mt.preparedInit()
+	if len(mt.prepared) != len(mt.windows) {
+		t.Fatalf("prepared tables cover %d windows, want %d", len(mt.prepared), len(mt.windows))
 	}
 	for i, w := range mt.windows {
 		pi := mt.preparedFor(w)
-		if pi != prepared[i] {
-			t.Fatalf("window %d resolves to a different Prepared than the shared table", i)
+		if pi != mt.preparedAt(int32(i)) {
+			t.Fatalf("window %d resolves to a different Prepared than the shared slot", i)
 		}
 		if pi.WindowLen() != len(w.Data) {
 			t.Fatalf("window %d: Prepared length %d, window length %d", i, pi.WindowLen(), len(w.Data))
 		}
 	}
-	// The tables are built once: a second call returns the same slice.
-	again := mt.preparedTables()
-	if &again[0] != &prepared[0] {
-		t.Fatal("preparedTables rebuilt the shared tables")
+	// Slots are built once: resolving a window again returns the identical
+	// Prepared, and a second init keeps the same slot array.
+	slots := &mt.prepared[0]
+	for i, w := range mt.windows {
+		if mt.preparedFor(w) != mt.preparedAt(int32(i)) {
+			t.Fatalf("window %d: second resolution built a new Prepared", i)
+		}
+	}
+	mt.preparedInit()
+	if &mt.prepared[0] != slots {
+		t.Fatal("preparedInit rebuilt the slot array")
 	}
 }
 

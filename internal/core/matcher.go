@@ -89,11 +89,14 @@ type Matcher[E any] struct {
 
 	// prepared holds, per indexed window, the shared immutable half of the
 	// measure's incremental kernel (Myers peq tables, edit base rows),
-	// built once on first use and shared by every concurrent worker — the
-	// O(windows) half of the kernel memory split. winIndex maps a window
-	// back to its slot. See preparedTables (kerneleval.go).
+	// shared by every concurrent worker — the O(windows) half of the
+	// kernel memory split. Slots are built lazily on first touch (per-slot
+	// sync.Once), so a selective serving workload pays preprocessing only
+	// for the windows its traversals actually visit; preparedOnce guards
+	// the cheap slot-array and window→slot map construction. winIndex maps
+	// a window back to its slot. See preparedAt (kerneleval.go).
 	preparedOnce sync.Once
-	prepared     []dist.Prepared[E]
+	prepared     []preparedSlot[E]
 	winIndex     map[winKey]int32
 }
 
@@ -343,10 +346,12 @@ func (mt *Matcher[E]) filterHitsIncremental(q seq.Sequence[E], eps float64, sc *
 	// The immutable window preprocessing is shared matcher-wide; this
 	// worker carries one kernel state and rebinds it window to window, so
 	// steady-state kernel memory is O(windows), not O(windows × workers).
-	prepared := mt.preparedTables()
+	// The linear scan touches every window per query, so the lazy slots
+	// all fill on the first query and later queries read them for free.
+	mt.preparedInit()
 	var evals int64
 	for wi, w := range items {
-		sc.kstate = dist.BindKernel(sc.kstate, prepared[wi])
+		sc.kstate = dist.BindKernel(sc.kstate, mt.preparedAt(int32(wi)))
 		k := sc.kstate
 		for a := 0; a+minLen <= len(q); a++ {
 			k.Reset()

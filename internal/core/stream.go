@@ -1,0 +1,448 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seq"
+)
+
+// Streaming query engine (ROADMAP: the step from a batch-barrier QueryPool
+// to a serving daemon).
+//
+// The batch entry points (QueryPool.FindAll and friends) are barriers: the
+// caller owns a complete query slice, hands it over, and blocks until every
+// answer is back. A server cannot work that way — queries arrive one at a
+// time from independent connections, and each caller wants only its own
+// answer, as soon as it is ready. Submit and its siblings provide that
+// shape: each submission returns a Future immediately, and a long-lived
+// worker set answers submissions as they arrive.
+//
+// The throughput trick of the batch path — one shared index traversal
+// across a query set (FilterHitsBatch) — still applies, because concurrent
+// submissions are exactly a query set that happens to arrive through many
+// goroutines. Workers therefore claim *runs* of compatible pending
+// submissions (same query type, same radius) and answer each run with one
+// batched call, so streaming throughput tracks batch throughput instead of
+// degrading to one-traversal-per-query. The claim size self-balances:
+// a worker takes ~pending/workers jobs (at least 1, at most the coalescing
+// cap), so a burst spreads over the worker set while a trickle is answered
+// immediately.
+//
+// Backpressure is a bounded in-flight budget: at most queueDepth
+// submissions may be submitted-but-not-completed at once, and Submit blocks
+// (respecting its context) until the engine drains. This is what keeps a
+// serving deployment's memory bounded when clients outpace the hardware.
+
+// ErrPoolClosed is returned by futures whose submission was rejected
+// because Close had already been called.
+var ErrPoolClosed = errors.New("core: query pool closed")
+
+// Future is the pending result of a streaming submission. A Future is
+// completed exactly once by the pool; any number of goroutines may Await
+// it.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+func newFuture[T any]() *Future[T] { return &Future[T]{done: make(chan struct{})} }
+
+func (f *Future[T]) complete(v T, err error) {
+	f.val, f.err = v, err
+	close(f.done)
+}
+
+// Await blocks until the result is ready or ctx is done, whichever comes
+// first. A completed future always reports its result, even when ctx is
+// already cancelled.
+func (f *Future[T]) Await(ctx context.Context) (T, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	default:
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// Done returns a channel that is closed when the result is ready, for
+// select-based consumers; after Done, Await returns without blocking.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// QueryResult is the outcome of a Longest or Nearest submission: the best
+// match and whether any similar pair exists.
+type QueryResult struct {
+	Match Match
+	Found bool
+}
+
+// queryKind tags a streaming submission with its query type.
+type queryKind uint8
+
+const (
+	kindFilter queryKind = iota
+	kindFindAll
+	kindLongest
+	kindNearest
+)
+
+// streamJob is one pending submission. Exactly one of the future fields is
+// set, matching kind.
+type streamJob[E any] struct {
+	kind queryKind
+	q    seq.Sequence[E]
+	eps  float64
+	opts NearestOptions
+	ctx  context.Context
+
+	fHits *Future[[]Hit[E]]
+	fAll  *Future[[]Match]
+	fOne  *Future[QueryResult]
+}
+
+// fail completes the job's future with err.
+func (j *streamJob[E]) fail(err error) {
+	switch j.kind {
+	case kindFilter:
+		j.fHits.complete(nil, err)
+	case kindFindAll:
+		j.fAll.complete(nil, err)
+	default:
+		j.fOne.complete(QueryResult{}, err)
+	}
+}
+
+// coalesceKey reports whether two jobs may be answered by one batched call:
+// same query type and same radius (the batch entry points take a single eps
+// for the whole set). Nearest jobs are never batched — Type III shares no
+// traversal — but grouping them lets one claim amortise scheduler trips.
+func (j *streamJob[E]) coalesceKey(o *streamJob[E]) bool {
+	if j.kind != o.kind {
+		return false
+	}
+	if j.kind == kindNearest {
+		return j.opts == o.opts
+	}
+	return j.eps == o.eps
+}
+
+// streamState is the engine behind the streaming submissions: a bounded
+// queue, a condition-variable-guarded dispatch list and a long-lived worker
+// set, started lazily on first submission.
+type streamState[E any] struct {
+	start   sync.Once
+	started atomic.Bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*streamJob[E]
+	// slots is the in-flight budget: one token per submission from enqueue
+	// to completion. Its capacity is the pool's queueDepth.
+	slots  chan struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Int64
+	rejected  atomic.Int64
+	batches   atomic.Int64
+	coalesced atomic.Int64
+	maxBatch  atomic.Int64
+}
+
+// StreamStats is a point-in-time snapshot of the streaming engine's
+// activity, surfaced by subseqctl serve's /stats endpoint.
+type StreamStats struct {
+	// Workers and QueueDepth echo the pool's configuration.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Pending counts submissions waiting for a worker; InFlight counts
+	// submissions submitted but not yet completed (pending + running).
+	Pending  int `json:"pending"`
+	InFlight int `json:"in_flight"`
+	// Submitted/Completed/Cancelled/Rejected are lifetime submission
+	// counts; Cancelled submissions were abandoned by their context before
+	// a worker ran them, Rejected ones arrived after Close.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Rejected  int64 `json:"rejected"`
+	// Batches counts worker claims (one batched call each); Coalesced
+	// counts submissions that shared their claim with at least one other,
+	// and MaxBatch is the largest claim so far. Coalesced/Submitted near 1
+	// means the engine is successfully turning concurrent submissions into
+	// shared traversals.
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+	MaxBatch  int64 `json:"max_batch"`
+}
+
+// DefaultQueueDepth bounds in-flight submissions when the pool was built
+// without WithQueueDepth: deep enough that workers never starve between
+// claims, shallow enough that a stalled consumer cannot queue unbounded
+// work.
+const DefaultQueueDepth = 1024
+
+// defaultMaxCoalesce caps how many submissions one worker claim may answer
+// in a single batched call. FilterHitsBatch re-chunks internally to keep
+// traversal state cache-resident, so the cap only bounds latency (a huge
+// claim makes its first member wait for its last), not correctness.
+const defaultMaxCoalesce = 64
+
+// stream returns the engine, starting the worker set on first use.
+func (p *QueryPool[E]) stream() *streamState[E] {
+	s := &p.streaming
+	s.start.Do(func() {
+		s.cond = sync.NewCond(&s.mu)
+		s.slots = make(chan struct{}, p.queueDepth)
+		s.wg.Add(p.workers)
+		s.started.Store(true)
+		for w := 0; w < p.workers; w++ {
+			go p.streamWorker()
+		}
+	})
+	return s
+}
+
+// submit enqueues j, blocking for an in-flight slot when the engine is at
+// queueDepth. The job's future is completed with ctx.Err() if ctx is done
+// first, or ErrPoolClosed if the pool closed first.
+func (p *QueryPool[E]) submit(ctx context.Context, j *streamJob[E]) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j.ctx = ctx
+	s := p.stream()
+	s.submitted.Add(1)
+	if err := ctx.Err(); err != nil {
+		s.cancelled.Add(1)
+		j.fail(err)
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.cancelled.Add(1)
+		j.fail(ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.slots
+		s.rejected.Add(1)
+		j.fail(ErrPoolClosed)
+		return
+	}
+	s.queue = append(s.queue, j)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Submit streams one FindAll (query Type I) through the pool: the returned
+// future resolves to exactly Matcher.FindAll(q, eps). Concurrent
+// submissions at the same radius are answered together through one shared
+// index traversal.
+func (p *QueryPool[E]) Submit(ctx context.Context, q seq.Sequence[E], eps float64) *Future[[]Match] {
+	j := &streamJob[E]{kind: kindFindAll, q: q, eps: eps, fAll: newFuture[[]Match]()}
+	p.submit(ctx, j)
+	return j.fAll
+}
+
+// SubmitFilter streams the filtering steps (3–4) for one query: the future
+// resolves to exactly Matcher.FilterHits(q, eps).
+func (p *QueryPool[E]) SubmitFilter(ctx context.Context, q seq.Sequence[E], eps float64) *Future[[]Hit[E]] {
+	j := &streamJob[E]{kind: kindFilter, q: q, eps: eps, fHits: newFuture[[]Hit[E]]()}
+	p.submit(ctx, j)
+	return j.fHits
+}
+
+// SubmitLongest streams one Longest (query Type II): the future resolves to
+// exactly Matcher.Longest(q, eps).
+func (p *QueryPool[E]) SubmitLongest(ctx context.Context, q seq.Sequence[E], eps float64) *Future[QueryResult] {
+	j := &streamJob[E]{kind: kindLongest, q: q, eps: eps, fOne: newFuture[QueryResult]()}
+	p.submit(ctx, j)
+	return j.fOne
+}
+
+// SubmitNearest streams one Nearest (query Type III): the future resolves
+// to exactly Matcher.Nearest(q, opts). Type III shares no traversal across
+// queries, so the workers contribute parallelism only.
+func (p *QueryPool[E]) SubmitNearest(ctx context.Context, q seq.Sequence[E], opts NearestOptions) *Future[QueryResult] {
+	j := &streamJob[E]{kind: kindNearest, q: q, opts: opts, fOne: newFuture[QueryResult]()}
+	p.submit(ctx, j)
+	return j.fOne
+}
+
+// Close stops the streaming engine gracefully: submissions already accepted
+// are drained and their futures completed, later submissions fail with
+// ErrPoolClosed, and Close returns once every worker has exited. The
+// batch-barrier methods (FindAll, Longest, …) remain usable after Close —
+// they run on ephemeral goroutines, not the streaming worker set. Close is
+// idempotent.
+func (p *QueryPool[E]) Close() {
+	s := &p.streaming
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	// Workers only exist if something was ever submitted; a pool used
+	// purely through the batch-barrier methods closes without starting
+	// them. (A submission racing this Close either fails with
+	// ErrPoolClosed or is drained by the workers it started, which see
+	// closed and exit on their own.)
+	if s.started.Load() {
+		s.cond.Broadcast()
+		s.wg.Wait()
+	}
+}
+
+// StreamStats snapshots the streaming engine's activity counters. On a
+// pool that has never streamed it reports the configuration with zero
+// counters, without starting the worker set.
+func (p *QueryPool[E]) StreamStats() StreamStats {
+	s := &p.streaming
+	s.mu.Lock()
+	pending := len(s.queue)
+	s.mu.Unlock()
+	return StreamStats{
+		Workers:    p.workers,
+		QueueDepth: p.queueDepth,
+		Pending:    pending,
+		InFlight:   len(s.slots),
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Cancelled:  s.cancelled.Load(),
+		Rejected:   s.rejected.Load(),
+		Batches:    s.batches.Load(),
+		Coalesced:  s.coalesced.Load(),
+		MaxBatch:   s.maxBatch.Load(),
+	}
+}
+
+// claimLocked removes and returns a run of coalescable jobs from the
+// queue: the head job plus every later job sharing its coalesce key, up to
+// limit. Non-matching jobs keep their order. Callers hold s.mu.
+func (s *streamState[E]) claimLocked(workers int, maxCoalesce int, claimed []*streamJob[E]) []*streamJob[E] {
+	// Self-balancing claim size: a lone submission is answered immediately,
+	// a burst of n spreads ~n/workers to each worker so the whole set runs
+	// concurrently, and the cap bounds the latency of the claim's first
+	// member. Mirrors the chunking of the batch-barrier run().
+	limit := len(s.queue) / workers
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > maxCoalesce {
+		limit = maxCoalesce
+	}
+	head := s.queue[0]
+	claimed = append(claimed, head)
+	w := 0
+	for i := 1; i < len(s.queue); i++ {
+		j := s.queue[i]
+		if len(claimed) < limit && head.coalesceKey(j) {
+			claimed = append(claimed, j)
+		} else {
+			s.queue[w] = j
+			w++
+		}
+	}
+	// Clear the tail so dropped jobs do not pin their queries alive.
+	for i := w; i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:w]
+	return claimed
+}
+
+// streamWorker is the long-lived worker loop: wait for work, claim a
+// coalescable run, answer it with one batched call, complete the futures.
+func (p *QueryPool[E]) streamWorker() {
+	s := &p.streaming
+	defer s.wg.Done()
+	var claimed []*streamJob[E]
+	var live []*streamJob[E]
+	var qs []seq.Sequence[E]
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		claimed = s.claimLocked(p.workers, p.maxCoalesce, claimed[:0])
+		s.mu.Unlock()
+
+		// Complete submissions whose context was cancelled while queued
+		// without spending index work on them.
+		live, qs = live[:0], qs[:0]
+		for _, j := range claimed {
+			if err := j.ctx.Err(); err != nil {
+				j.fail(err)
+				s.cancelled.Add(1)
+				<-s.slots
+				continue
+			}
+			live = append(live, j)
+			qs = append(qs, j.q)
+		}
+		if len(live) > 0 {
+			// Counters move before the futures complete, so a caller that
+			// awaits its last future and immediately snapshots StreamStats
+			// never observes Completed lagging its own resolved work.
+			s.batches.Add(1)
+			if n := int64(len(live)); n > 1 {
+				s.coalesced.Add(n)
+			}
+			for {
+				max := s.maxBatch.Load()
+				if int64(len(live)) <= max || s.maxBatch.CompareAndSwap(max, int64(len(live))) {
+					break
+				}
+			}
+			s.completed.Add(int64(len(live)))
+			p.runBatch(live, qs)
+			for range live {
+				<-s.slots
+			}
+		}
+	}
+}
+
+// runBatch answers one claimed run — all jobs share a coalesce key — with a
+// single batched call and completes each job's future with its own slice of
+// the result.
+func (p *QueryPool[E]) runBatch(jobs []*streamJob[E], qs []seq.Sequence[E]) {
+	switch jobs[0].kind {
+	case kindFilter:
+		hits := p.mt.FilterHitsBatch(qs, jobs[0].eps)
+		for i, j := range jobs {
+			j.fHits.complete(hits[i], nil)
+		}
+	case kindFindAll:
+		ms := p.mt.FindAllBatch(qs, jobs[0].eps)
+		for i, j := range jobs {
+			j.fAll.complete(ms[i], nil)
+		}
+	case kindLongest:
+		ms, found := p.mt.LongestBatch(qs, jobs[0].eps)
+		for i, j := range jobs {
+			j.fOne.complete(QueryResult{Match: ms[i], Found: found[i]}, nil)
+		}
+	case kindNearest:
+		for i, j := range jobs {
+			m, ok := p.mt.Nearest(qs[i], j.opts)
+			j.fOne.complete(QueryResult{Match: m, Found: ok}, nil)
+		}
+	}
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// The streaming submit path must return results bit-identical to the
+// sequential per-query path and the batch-barrier path, on every index
+// backend, for all four query types — the serving daemon's answers are
+// exactly the library's.
+func TestStreamMatchesSequentialAllBackends(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(31, 3100))
+	db, qs := batchQueries(rng, 7)
+	const eps = 0.5
+	nopts := NearestOptions{EpsMax: 4, EpsInc: 0.5}
+	ctx := context.Background()
+	for _, kind := range []IndexKind{IndexRefNet, IndexCoverTree, IndexMV, IndexLinearScan} {
+		mt, err := NewMatcher(lev, Config{Params: p, Index: kind, MVRefs: 3}, db)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		wantHits := mt.FilterHitsBatch(qs, eps)
+		wantAll := mt.FindAllBatch(qs, eps)
+		wantLong, wantLongOK := mt.LongestBatch(qs, eps)
+		wantNear := make([]Match, len(qs))
+		wantNearOK := make([]bool, len(qs))
+		for i, q := range qs {
+			wantNear[i], wantNearOK[i] = mt.Nearest(q, nopts)
+		}
+		pool := NewQueryPool(mt, 3)
+		fHits := make([]*Future[[]Hit[byte]], len(qs))
+		fAll := make([]*Future[[]Match], len(qs))
+		fLong := make([]*Future[QueryResult], len(qs))
+		fNear := make([]*Future[QueryResult], len(qs))
+		for i, q := range qs {
+			fHits[i] = pool.SubmitFilter(ctx, q, eps)
+			fAll[i] = pool.Submit(ctx, q, eps)
+			fLong[i] = pool.SubmitLongest(ctx, q, eps)
+			fNear[i] = pool.SubmitNearest(ctx, q, nopts)
+		}
+		for i := range qs {
+			hits, err := fHits[i].Await(ctx)
+			if err != nil {
+				t.Fatalf("%v query %d: SubmitFilter: %v", kind, i, err)
+			}
+			if len(hits) != len(wantHits[i]) {
+				t.Fatalf("%v query %d: stream %d hits, batch %d", kind, i, len(hits), len(wantHits[i]))
+			}
+			for j := range hits {
+				if hits[j].Window.String() != wantHits[i][j].Window.String() ||
+					hits[j].Segment.String() != wantHits[i][j].Segment.String() {
+					t.Fatalf("%v query %d hit %d: stream %v/%v, batch %v/%v", kind, i, j,
+						hits[j].Window, hits[j].Segment, wantHits[i][j].Window, wantHits[i][j].Segment)
+				}
+			}
+			ms, err := fAll[i].Await(ctx)
+			if err != nil {
+				t.Fatalf("%v query %d: Submit: %v", kind, i, err)
+			}
+			if len(ms) != len(wantAll[i]) {
+				t.Fatalf("%v query %d: stream %d matches, batch %d", kind, i, len(ms), len(wantAll[i]))
+			}
+			for j := range ms {
+				if ms[j] != wantAll[i][j] {
+					t.Fatalf("%v query %d match %d: stream %v, batch %v", kind, i, j, ms[j], wantAll[i][j])
+				}
+			}
+			lr, err := fLong[i].Await(ctx)
+			if err != nil {
+				t.Fatalf("%v query %d: SubmitLongest: %v", kind, i, err)
+			}
+			if lr.Found != wantLongOK[i] || (lr.Found && lr.Match != wantLong[i]) {
+				t.Fatalf("%v query %d: stream Longest (%v,%v), batch (%v,%v)", kind, i, lr.Match, lr.Found, wantLong[i], wantLongOK[i])
+			}
+			nr, err := fNear[i].Await(ctx)
+			if err != nil {
+				t.Fatalf("%v query %d: SubmitNearest: %v", kind, i, err)
+			}
+			if nr.Found != wantNearOK[i] || (nr.Found && nr.Match != wantNear[i]) {
+				t.Fatalf("%v query %d: stream Nearest (%v,%v), sequential (%v,%v)", kind, i, nr.Match, nr.Found, wantNear[i], wantNearOK[i])
+			}
+		}
+		pool.Close()
+	}
+}
+
+// claimLocked is the coalescing scheduler's core: a claim must take the
+// head job plus only key-compatible jobs, respect the self-balancing
+// limit, and preserve the order of everything it leaves behind.
+func TestStreamClaimGroupsByKey(t *testing.T) {
+	mk := func(kind queryKind, eps float64) *streamJob[byte] {
+		return &streamJob[byte]{kind: kind, eps: eps, ctx: context.Background()}
+	}
+	var s streamState[byte]
+	a1, a2, a3 := mk(kindFindAll, 2), mk(kindFindAll, 2), mk(kindFindAll, 2)
+	b1 := mk(kindFindAll, 3) // same kind, different radius: not coalescable
+	c1 := mk(kindFilter, 2)  // different kind: not coalescable
+	s.queue = []*streamJob[byte]{a1, b1, a2, c1, a3}
+	claimed := s.claimLocked(1, 64, nil)
+	if len(claimed) != 3 || claimed[0] != a1 || claimed[1] != a2 || claimed[2] != a3 {
+		t.Fatalf("claim = %v, want [a1 a2 a3]", claimed)
+	}
+	if len(s.queue) != 2 || s.queue[0] != b1 || s.queue[1] != c1 {
+		t.Fatalf("left behind %v, want [b1 c1] in order", s.queue)
+	}
+	// The limit splits a burst across workers: with 4 workers and 8 queued
+	// jobs, one claim takes 2.
+	s.queue = nil
+	for i := 0; i < 8; i++ {
+		s.queue = append(s.queue, mk(kindFindAll, 2))
+	}
+	claimed = s.claimLocked(4, 64, nil)
+	if len(claimed) != 2 {
+		t.Fatalf("claim of 8 over 4 workers took %d jobs, want 2", len(claimed))
+	}
+	// The coalescing cap bounds a claim regardless of queue depth.
+	s.queue = nil
+	for i := 0; i < 10; i++ {
+		s.queue = append(s.queue, mk(kindLongest, 1))
+	}
+	claimed = s.claimLocked(1, 4, nil)
+	if len(claimed) != 4 {
+		t.Fatalf("capped claim took %d jobs, want 4", len(claimed))
+	}
+	// Nearest jobs group by identical options only.
+	n1 := &streamJob[byte]{kind: kindNearest, opts: NearestOptions{EpsMax: 4, EpsInc: 1}, ctx: context.Background()}
+	n2 := &streamJob[byte]{kind: kindNearest, opts: NearestOptions{EpsMax: 4, EpsInc: 1}, ctx: context.Background()}
+	n3 := &streamJob[byte]{kind: kindNearest, opts: NearestOptions{EpsMax: 8, EpsInc: 1}, ctx: context.Background()}
+	s.queue = []*streamJob[byte]{n1, n3, n2}
+	claimed = s.claimLocked(1, 64, nil)
+	if len(claimed) != 2 || claimed[0] != n1 || claimed[1] != n2 {
+		t.Fatalf("nearest claim = %v, want [n1 n2]", claimed)
+	}
+}
+
+// A burst of submissions must actually coalesce into shared batched calls:
+// with one worker, claims taken while the worker is busy batch the backlog,
+// so the engine runs far fewer batches than submissions.
+func TestStreamCoalescesBurst(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(37, 3700))
+	db, qs := batchQueries(rng, 8)
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewQueryPool(mt, 1)
+	defer pool.Close()
+	ctx := context.Background()
+	const rounds = 8
+	futures := make([]*Future[[]Match], 0, rounds*len(qs))
+	for r := 0; r < rounds; r++ {
+		for _, q := range qs {
+			futures = append(futures, pool.Submit(ctx, q, 0.5))
+		}
+	}
+	for _, f := range futures {
+		if _, err := f.Await(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.StreamStats()
+	if st.Completed != int64(len(futures)) {
+		t.Fatalf("completed %d of %d submissions", st.Completed, len(futures))
+	}
+	if st.Batches >= st.Completed {
+		t.Fatalf("no coalescing: %d batches for %d submissions", st.Batches, st.Completed)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("max batch %d, want >= 2", st.MaxBatch)
+	}
+}
+
+// Future semantics: Await honours its own context but a completed future
+// always reports its result, and Done unblocks selects.
+func TestFutureAwait(t *testing.T) {
+	f := newFuture[int]()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Await(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Await on pending future with cancelled ctx: err = %v, want Canceled", err)
+	}
+	f.complete(7, nil)
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("Done not closed after complete")
+	}
+	if v, err := f.Await(cancelled); err != nil || v != 7 {
+		t.Fatalf("Await on completed future = (%v, %v), want (7, nil)", v, err)
+	}
+}
+
+// A submission whose context is already cancelled resolves to the context
+// error without index work; submissions cancelled later still resolve (to
+// either their result or the cancellation), and the engine fully drains.
+func TestStreamContextCancellation(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(41, 4100))
+	db, qs := batchQueries(rng, 6)
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewQueryPool(mt, 2)
+	defer pool.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := pool.Submit(dead, qs[0], 0.5)
+	if _, err := f.Await(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit resolved to %v, want Canceled", err)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	futures := make([]*Future[[]Match], 0, 64)
+	for r := 0; r < 64; r++ {
+		futures = append(futures, pool.Submit(ctx, qs[r%len(qs)], 0.5))
+		if r == 20 {
+			cancelMid()
+		}
+	}
+	cancelMid()
+	var ok, cancelledN int
+	for _, f := range futures {
+		if _, err := f.Await(context.Background()); err == nil {
+			ok++
+		} else if errors.Is(err, context.Canceled) {
+			cancelledN++
+		} else {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if ok+cancelledN != len(futures) {
+		t.Fatalf("resolved %d+%d of %d futures", ok, cancelledN, len(futures))
+	}
+	if cancelledN == 0 {
+		t.Fatal("no submission observed the cancellation")
+	}
+	// The engine drains: in-flight returns to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.StreamStats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine did not drain: %+v", pool.StreamStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close drains accepted submissions before the workers exit, rejects
+// later submissions with ErrPoolClosed, and is idempotent. The batch
+// barrier methods keep working on a closed pool.
+func TestStreamCloseDrainsAndRejects(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(43, 4300))
+	db, qs := batchQueries(rng, 6)
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mt.FindAllBatch(qs, 0.5)
+	pool := NewQueryPool(mt, 2)
+	ctx := context.Background()
+	futures := make([]*Future[[]Match], len(qs))
+	for i, q := range qs {
+		futures[i] = pool.Submit(ctx, q, 0.5)
+	}
+	pool.Close()
+	for i, f := range futures {
+		ms, err := f.Await(ctx)
+		if err != nil {
+			t.Fatalf("accepted submission %d failed after Close: %v", i, err)
+		}
+		if len(ms) != len(want[i]) {
+			t.Fatalf("query %d: %d matches after Close, want %d", i, len(ms), len(want[i]))
+		}
+	}
+	if _, err := pool.Submit(ctx, qs[0], 0.5).Await(ctx); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after Close resolved to %v, want ErrPoolClosed", err)
+	}
+	pool.Close() // idempotent
+	got := pool.FindAll(qs, 0.5)
+	for i := range qs {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("batch barrier after Close: query %d got %d matches, want %d", i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// A pool used purely through the batch-barrier methods closes without
+// ever starting the streaming workers, and still rejects submissions
+// afterwards.
+func TestStreamCloseWithoutUse(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	rng := rand.New(rand.NewPCG(59, 5900))
+	db, qs := batchQueries(rng, 3)
+	mt, err := NewMatcher(dist.LevenshteinMeasure[byte](), Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewQueryPool(mt, 2)
+	pool.FindAll(qs, 0.5) // batch barrier only
+	pool.Close()
+	st := pool.StreamStats()
+	if st.Submitted != 0 || st.Completed != 0 {
+		t.Fatalf("batch-only pool shows stream activity: %+v", st)
+	}
+	ctx := context.Background()
+	if _, err := pool.Submit(ctx, qs[0], 0.5).Await(ctx); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after batch-only Close resolved to %v, want ErrPoolClosed", err)
+	}
+}
+
+// Stress the engine under the race detector: many goroutines submitting
+// all four query types while the pool drains, with cancellations and a
+// concurrent batch-barrier user mixed in.
+func TestStreamStressRace(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(47, 4700))
+	db, qs := batchQueries(rng, 8)
+	const eps = 0.5
+	mt, err := NewMatcher(lev, Config{Params: p}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mt.FindAllBatch(qs, eps)
+	pool := NewQueryPool(mt, 3, WithQueueDepth(16))
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(qs)
+				switch g % 4 {
+				case 0:
+					ms, err := pool.Submit(ctx, qs[i], eps).Await(ctx)
+					if err != nil || len(ms) != len(want[i]) {
+						bad.Add(1)
+					}
+				case 1:
+					if _, err := pool.SubmitFilter(ctx, qs[i], eps).Await(ctx); err != nil {
+						bad.Add(1)
+					}
+				case 2:
+					cctx, cancel := context.WithCancel(ctx)
+					f := pool.SubmitLongest(cctx, qs[i], eps)
+					if it%2 == 0 {
+						cancel()
+					}
+					if _, err := f.Await(ctx); err != nil && !errors.Is(err, context.Canceled) {
+						bad.Add(1)
+					}
+					cancel()
+				case 3:
+					// Batch-barrier calls share the matcher with the stream.
+					got := pool.FindAll(qs[:2], eps)
+					if len(got[0]) != len(want[0]) {
+						bad.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d inconsistent results under stress", bad.Load())
+	}
+	pool.Close()
+	st := pool.StreamStats()
+	if st.InFlight != 0 || st.Pending != 0 {
+		t.Fatalf("engine not drained after Close: %+v", st)
+	}
+	if st.Completed+st.Cancelled+st.Rejected != st.Submitted {
+		t.Fatalf("submission accounting leaks: %+v", st)
+	}
+}
+
+// The lazily-built prepared tables must be identical to building every
+// window's table up front, and a selective query on a hierarchical backend
+// must *not* touch every window — the point of per-slot laziness.
+func TestLazyPreparedIdentityAndSparseness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 5300))
+	db, qs := batchQueries(rng, 4)
+	p := Params{Lambda: 6, Lambda0: 1}
+	const eps = 0.5
+
+	prepares := func(m *dist.Measure[byte]) *atomic.Int64 {
+		var n atomic.Int64
+		inner := m.Prepare
+		m.Prepare = func(w []byte) dist.Prepared[byte] {
+			n.Add(1)
+			return inner(w)
+		}
+		return &n
+	}
+
+	lazyM := dist.LevenshteinMeasure[byte]()
+	lazyCount := prepares(&lazyM)
+	lazy, err := NewMatcher(lazyM, Config{Params: p, Index: IndexRefNet}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerM := dist.LevenshteinMeasure[byte]()
+	eagerCount := prepares(&eagerM)
+	eager, err := NewMatcher(eagerM, Config{Params: p, Index: IndexRefNet}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the eager path: build every slot before the first query.
+	eager.preparedInit()
+	for i := range eager.windows {
+		eager.preparedAt(int32(i))
+	}
+	if got := eagerCount.Load(); got != int64(len(eager.windows)) {
+		t.Fatalf("eager build prepared %d windows, want %d", got, len(eager.windows))
+	}
+
+	for _, q := range qs {
+		lazyHits := lazy.FilterHits(q, eps)
+		eagerHits := eager.FilterHits(q, eps)
+		if len(lazyHits) != len(eagerHits) {
+			t.Fatalf("lazy %d hits, eager %d", len(lazyHits), len(eagerHits))
+		}
+		for j := range lazyHits {
+			if lazyHits[j].Window.String() != eagerHits[j].Window.String() ||
+				lazyHits[j].Segment.String() != eagerHits[j].Segment.String() {
+				t.Fatalf("hit %d: lazy %v/%v, eager %v/%v", j,
+					lazyHits[j].Window, lazyHits[j].Segment, eagerHits[j].Window, eagerHits[j].Segment)
+			}
+		}
+	}
+	built := lazyCount.Load()
+	if built == 0 {
+		t.Fatal("kernel traversal built no prepared tables (did the kernel path run?)")
+	}
+	if built >= int64(len(lazy.windows)) {
+		t.Fatalf("lazy path built %d of %d windows — not lazy", built, len(lazy.windows))
+	}
+	// Each touched window is prepared exactly once, even after more queries.
+	for _, q := range qs {
+		lazy.FilterHits(q, eps)
+	}
+	if again := lazyCount.Load(); again != built {
+		t.Fatalf("repeat queries rebuilt prepared tables: %d → %d", built, again)
+	}
+}

@@ -1,6 +1,7 @@
 package registry_test
 
 import (
+	"context"
 	"fmt"
 
 	subseq "repro"
@@ -38,6 +39,49 @@ func ExampleCompatible() {
 	// Output:
 	// measure "dtw" is not a metric: backend "refnet" prunes by the triangle inequality and would drop true matches — use the linear backend
 	// <nil>
+}
+
+// Resolving a serving-daemon configuration from names: a ServerSpec is a
+// SessionSpec plus the serving knobs, and Resolve yields the canonical
+// configuration a daemon runs (and echoes on /stats). Building the server
+// itself is then registry.NewMatcher plus a streaming QueryPool — exactly
+// what `subseqctl serve` does.
+func ExampleServerSpec() {
+	spec := registry.ServerSpec{
+		SessionSpec: registry.SessionSpec{
+			Dataset: "proteins",
+			Backend: "refnet",
+			Windows: 30,
+			Seed:    1,
+		},
+		Addr:       "127.0.0.1:8077",
+		Workers:    4,
+		QueueDepth: 256,
+	}
+	cfg, err := spec.Resolve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg.Measure.Name, cfg.Backend.Name, cfg.Lambda, cfg.Addr, cfg.Workers)
+
+	// The resolved session builds the matcher the daemon serves from; the
+	// streaming pool answers its requests.
+	matcher, ds, err := registry.NewMatcher[byte](spec.SessionSpec)
+	if err != nil {
+		panic(err)
+	}
+	pool := subseq.NewQueryPool(matcher, cfg.Workers, subseq.WithQueueDepth(cfg.QueueDepth))
+	defer pool.Close()
+	query := make(subseq.Sequence[byte], 60)
+	copy(query, ds.Sequences[0][:60])
+	res, err := pool.SubmitLongest(context.Background(), query, 2).Await(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Found)
+	// Output:
+	// levenshtein-fast refnet 40 127.0.0.1:8077 4
+	// true
 }
 
 // Building a full session from names: dataset, measure and backend resolve

@@ -28,6 +28,7 @@ package registry
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -41,19 +42,19 @@ import (
 // compatibility check needs them.
 type MeasureInfo struct {
 	// Name is the canonical measure name.
-	Name string
+	Name string `json:"name"`
 	// Elem names the element type the instantiation is registered for:
 	// "byte", "float64" or "point2".
-	Elem string
+	Elem string `json:"elem"`
 	// Description is a one-line summary.
-	Description string
+	Description string `json:"description"`
 	// Metric, Consistent and LockStep are the measure's vetted properties.
-	Metric     bool
-	Consistent bool
-	LockStep   bool
+	Metric     bool `json:"metric"`
+	Consistent bool `json:"consistent"`
+	LockStep   bool `json:"lock_step"`
 	// Incremental and Bounded report the optional fast-path capabilities.
-	Incremental bool
-	Bounded     bool
+	Incremental bool `json:"incremental"`
+	Bounded     bool `json:"bounded"`
 }
 
 // measureAliases maps accepted alternate names to canonical measure names.
@@ -174,14 +175,14 @@ func Measure[E any](name string) (subseq.Measure[E], error) {
 // BackendInfo describes one index backend of the window filter.
 type BackendInfo struct {
 	// Name is the backend's CLI name.
-	Name string
+	Name string `json:"name"`
 	// Kind is the core backend selector.
-	Kind subseq.IndexKind
+	Kind subseq.IndexKind `json:"-"`
 	// Description is a one-line summary.
-	Description string
+	Description string `json:"description"`
 	// NeedsMetric reports that the backend prunes by the triangle
 	// inequality and therefore accepts only metric measures.
-	NeedsMetric bool
+	NeedsMetric bool `json:"needs_metric"`
 }
 
 // backends lists the four filter backends, in display order.
@@ -231,14 +232,14 @@ type Dataset[E any] = data.Dataset[E]
 // DatasetInfo describes one synthetic dataset family.
 type DatasetInfo struct {
 	// Name is the family name.
-	Name string
+	Name string `json:"name"`
 	// Elem names the element type of its sequences.
-	Elem string
+	Elem string `json:"elem"`
 	// Description is a one-line summary.
-	Description string
+	Description string `json:"description"`
 	// DefaultMeasure is the measure a session uses when none is named —
 	// the pairing the paper evaluates the family with.
-	DefaultMeasure string
+	DefaultMeasure string `json:"default_measure"`
 }
 
 // datasets lists the dataset families, in display order.
@@ -291,24 +292,24 @@ func RandomQuery[E any](ds Dataset[E], qlen int, rate float64,
 // must be set.
 type SessionSpec struct {
 	// Dataset is the dataset family to generate.
-	Dataset string
+	Dataset string `json:"dataset"`
 	// Measure selects the distance measure; "" selects the family's
 	// default. Aliases are accepted.
-	Measure string
+	Measure string `json:"measure,omitempty"`
 	// Backend selects the filter backend; "" selects refnet.
-	Backend string
+	Backend string `json:"backend,omitempty"`
 	// Windows is the number of database windows to generate.
-	Windows int
+	Windows int `json:"windows"`
 	// WindowLen is the window length l (λ = 2l); 0 selects 20, the
 	// paper's setting.
-	WindowLen int
+	WindowLen int `json:"window_len,omitempty"`
 	// Lambda0 is the temporal-shift bound λ0. The zero value selects the
 	// measure's default (0 for lock-step measures, 1 otherwise); -1
 	// explicitly forces λ0 = 0 for a non-lock-step measure; positive
 	// values are used as given (lock-step measures reject them).
-	Lambda0 int
+	Lambda0 int `json:"lambda0,omitempty"`
 	// Seed seeds dataset generation.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Resolve fills the spec's defaults and resolves its names against the
@@ -363,6 +364,94 @@ func (s SessionSpec) Lambda0For(mi MeasureInfo) (int, error) {
 	}
 }
 
+// ServerSpec names a complete serving-daemon configuration: a session
+// (dataset × measure × backend, exactly as `subseqctl query` takes it)
+// plus the knobs serving adds — the listen address and the streaming
+// engine's worker count and in-flight bound. `subseqctl serve` fills one
+// from its flags; Resolve turns it into the fully-resolved ServerConfig
+// the daemon runs and reports on /stats. See docs/SERVING.md.
+type ServerSpec struct {
+	SessionSpec
+	// Addr is the TCP listen address; "" selects 127.0.0.1:8077.
+	Addr string `json:"addr,omitempty"`
+	// Workers is the streaming engine's worker count; 0 selects
+	// GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// QueueDepth bounds in-flight submissions (accepted but not yet
+	// answered); 0 selects subseq.DefaultQueueDepth.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// DefaultServeAddr is the listen address a ServerSpec resolves to when
+// none is given.
+const DefaultServeAddr = "127.0.0.1:8077"
+
+// resolveWindowLen applies the shared window-length default (0 selects
+// 20, the paper's setting; λ = 2l follows) and floor — the single place
+// every session constructor resolves it, so a served /stats config can
+// never diverge from the matcher the daemon built.
+func resolveWindowLen(wl int) (int, error) {
+	if wl == 0 {
+		wl = 20
+	}
+	if wl < 2 {
+		return 0, fmt.Errorf("registry: window length must be at least 2, got %d", wl)
+	}
+	return wl, nil
+}
+
+// ServerConfig is a ServerSpec after name resolution: the canonical
+// dataset, measure and backend descriptors plus every resolved parameter.
+// It marshals to the JSON a daemon's /stats endpoint echoes, so a client
+// can always ask a server what it is.
+type ServerConfig struct {
+	Dataset    DatasetInfo `json:"dataset"`
+	Measure    MeasureInfo `json:"measure"`
+	Backend    BackendInfo `json:"backend"`
+	Windows    int         `json:"windows"`
+	WindowLen  int         `json:"window_len"`
+	Lambda     int         `json:"lambda"`
+	Lambda0    int         `json:"lambda0"`
+	Seed       uint64      `json:"seed"`
+	Addr       string      `json:"addr"`
+	Workers    int         `json:"workers"`
+	QueueDepth int         `json:"queue_depth"`
+}
+
+// Resolve fills the spec's defaults and resolves every name against the
+// registry, validating the measure × backend pairing; nothing is generated
+// or built. The returned config is what the daemon serves under /stats.
+func (s ServerSpec) Resolve() (ServerConfig, error) {
+	di, mi, bi, err := s.SessionSpec.Resolve()
+	if err != nil {
+		return ServerConfig{}, err
+	}
+	lambda0, err := s.Lambda0For(mi)
+	if err != nil {
+		return ServerConfig{}, err
+	}
+	wl, err := resolveWindowLen(s.WindowLen)
+	if err != nil {
+		return ServerConfig{}, err
+	}
+	cfg := ServerConfig{
+		Dataset: di, Measure: mi, Backend: bi,
+		Windows: s.Windows, WindowLen: wl,
+		Lambda: 2 * wl, Lambda0: lambda0, Seed: s.Seed,
+		Addr: s.Addr, Workers: s.Workers, QueueDepth: s.QueueDepth,
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = DefaultServeAddr
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = subseq.DefaultQueueDepth
+	}
+	return cfg, nil
+}
+
 // NewMatcher resolves spec, generates its dataset and builds the matcher
 // over it. E must be the element type of the spec's dataset family.
 func NewMatcher[E any](spec SessionSpec) (*subseq.Matcher[E], Dataset[E], error) {
@@ -374,12 +463,9 @@ func NewMatcher[E any](spec SessionSpec) (*subseq.Matcher[E], Dataset[E], error)
 	if err != nil {
 		return nil, Dataset[E]{}, err
 	}
-	wl := spec.WindowLen
-	if wl == 0 {
-		wl = 20
-	}
-	if wl < 2 {
-		return nil, Dataset[E]{}, fmt.Errorf("registry: window length must be at least 2, got %d", wl)
+	wl, err := resolveWindowLen(spec.WindowLen)
+	if err != nil {
+		return nil, Dataset[E]{}, err
 	}
 	lambda0, err := spec.Lambda0For(mi)
 	if err != nil {

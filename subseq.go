@@ -132,18 +132,56 @@ type Hit[E any] = core.Hit[E]
 type NearestOptions = core.NearestOptions
 
 // QueryPool drives a Matcher from a fixed set of worker goroutines,
-// answering large query batches with multi-core throughput. The sequential
-// batch entry points (Matcher.FindAllBatch, Matcher.LongestBatch,
-// Matcher.FilterHitsBatch) share one index traversal across a query set;
-// the pool fans chunks of a batch out over its workers, composing the two.
+// answering large query batches with multi-core throughput. It has two
+// faces: the batch-barrier methods (FindAll, Longest, FilterHits, Nearest)
+// take a complete query slice and block until every answer is back, while
+// the streaming methods (Submit, SubmitFilter, SubmitLongest,
+// SubmitNearest) accept queries one at a time and return per-query
+// Futures, answering them from a long-lived worker set that coalesces
+// concurrent submissions into the same shared index traversals the batch
+// path uses. The streaming face adds context cancellation, a bounded
+// in-flight queue with backpressure and graceful Close — the shape a
+// serving daemon needs (see subseqctl serve and docs/SERVING.md).
 type QueryPool[E any] = core.QueryPool[E]
 
+// PoolOption tunes a QueryPool's streaming engine.
+type PoolOption = core.PoolOption
+
+// WithQueueDepth bounds the streaming engine's in-flight submissions
+// (submitted but not completed); Submit blocks once the bound is reached.
+// The default is 1024.
+func WithQueueDepth(n int) PoolOption { return core.WithQueueDepth(n) }
+
+// WithMaxCoalesce caps how many streaming submissions one worker claim may
+// answer in a single batched call (default 64).
+func WithMaxCoalesce(n int) PoolOption { return core.WithMaxCoalesce(n) }
+
 // NewQueryPool returns a pool of the given concurrency over mt; workers
-// ≤ 0 selects GOMAXPROCS. The pool is stateless between calls and safe for
-// concurrent use.
-func NewQueryPool[E any](mt *Matcher[E], workers int) *QueryPool[E] {
-	return core.NewQueryPool(mt, workers)
+// ≤ 0 selects GOMAXPROCS. The batch methods are stateless between calls
+// and safe for concurrent use; the streaming worker set starts lazily on
+// the first Submit and stops at Close.
+func NewQueryPool[E any](mt *Matcher[E], workers int, opts ...PoolOption) *QueryPool[E] {
+	return core.NewQueryPool(mt, workers, opts...)
 }
+
+// Future is the pending result of a streaming submission; Await blocks
+// until the result is ready or the context is done.
+type Future[T any] = core.Future[T]
+
+// QueryResult is the outcome of a streamed Longest or Nearest submission.
+type QueryResult = core.QueryResult
+
+// StreamStats is a snapshot of a QueryPool's streaming-engine activity
+// (pending and in-flight submissions, coalescing effectiveness).
+type StreamStats = core.StreamStats
+
+// ErrPoolClosed is returned by futures whose submission arrived after the
+// pool's streaming engine was closed.
+var ErrPoolClosed = core.ErrPoolClosed
+
+// DefaultQueueDepth is the streaming engine's in-flight bound when
+// WithQueueDepth is not given.
+const DefaultQueueDepth = core.DefaultQueueDepth
 
 // BruteForce answers the three query types exhaustively; it is the
 // correctness oracle and the baseline the framework's filtering replaces.
