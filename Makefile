@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke serve-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -41,6 +41,14 @@ bench-smoke:
 # whole flow).
 serve-smoke:
 	$(GO) test -run TestServeSmokeBinary -count=1 -v ./cmd/subseqctl
+
+# snapshot-smoke is the persistence end-to-end check: build the real
+# subseqctl binary, serve, mutate the live index over the admin API,
+# snapshot, restart a fresh process with -restore and verify it answers
+# byte-identically with zero re-indexing work, then exercise
+# -snapshot-on-sigterm (TestSnapshotSmokeBinary drives the whole flow).
+snapshot-smoke:
+	$(GO) test -run TestSnapshotSmokeBinary -count=1 -v ./cmd/subseqctl
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -6,7 +6,10 @@
 package subseq_test
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"sync"
 	"testing"
 
 	subseq "repro"
@@ -479,4 +482,125 @@ func BenchmarkAblationSequentialRange(b *testing.B) {
 			sinkRows += len(net.Range(q, 4))
 		}
 	}
+}
+
+// --- Store lifecycle: snapshot/restore and live mutation (internal/store,
+// docs/PERSISTENCE.md). RestoreVsRebuild is the headline pair: restoring a
+// refnet snapshot decodes structure and computes zero distances, where a
+// rebuild pays the full O(n · depth) insertion distance bill. ---
+
+// benchStore builds a refnet-backed store over n PROTEINS windows.
+func benchStore(b *testing.B, n int) *subseq.Store[byte] {
+	b.Helper()
+	ds := data.Proteins(n, 20, 1)
+	st, err := subseq.NewStore(dist.LevenshteinFastMeasure(), subseq.Config{
+		Params: subseq.Params{Lambda: 40, Lambda0: 1},
+	}, ds.Sequences)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// benchSnapshot is one serialised store, shared by the decode-side benches.
+func benchSnapshot(b *testing.B, n int) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := benchStore(b, n).Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkSnapshotSave(b *testing.B) {
+	st := benchStore(b, 5000)
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	blob := benchSnapshot(b, 5000)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := subseq.OpenStore(bytes.NewReader(blob), dist.LevenshteinFastMeasure(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkRows += st.Matcher().NumWindows()
+	}
+}
+
+// BenchmarkRestoreVsRebuild puts the two restart paths side by side over
+// the same 5000-window database; dist/op counts the index-construction
+// distance evaluations each path pays (restore: zero).
+func BenchmarkRestoreVsRebuild(b *testing.B) {
+	ds := data.Proteins(5000, 20, 1)
+	cfg := subseq.Config{Params: subseq.Params{Lambda: 40, Lambda0: 1}}
+	blob := benchSnapshot(b, 5000)
+	b.Run("Restore", func(b *testing.B) {
+		var calls int64
+		for i := 0; i < b.N; i++ {
+			st, err := subseq.OpenStore(bytes.NewReader(blob), dist.LevenshteinFastMeasure(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += st.Matcher().BuildDistanceCalls()
+		}
+		b.ReportMetric(float64(calls)/float64(b.N), "dist/op")
+	})
+	b.Run("Rebuild", func(b *testing.B) {
+		var calls int64
+		for i := 0; i < b.N; i++ {
+			st, err := subseq.NewStore(dist.LevenshteinFastMeasure(), cfg, ds.Sequences)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += st.Matcher().BuildDistanceCalls()
+		}
+		b.ReportMetric(float64(calls)/float64(b.N), "dist/op")
+	})
+}
+
+// BenchmarkStoreAppend measures live ingest while a query worker keeps
+// the read side busy: every append drains in-flight query claims (the
+// store's write lock), so this prices mutation under serving load.
+func BenchmarkStoreAppend(b *testing.B) {
+	st := benchStore(b, 2000)
+	pool := st.NewQueryPool(2)
+	defer pool.Close()
+	q := data.Proteins(8, 20, 99).Sequences[0][:30]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sinkRows += len(pool.FindAll([]subseq.Sequence[byte]{q}, 2))
+			}
+		}
+	}()
+	x := data.Proteins(8, 20, 7).Sequences[0][:40] // two windows per append
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }

@@ -29,13 +29,18 @@
 //	    concurrent requests coalesce into shared index traversals.
 //	    GET /stats reports the resolved configuration, the distance-call
 //	    tallies and the streaming engine's counters. SIGINT/SIGTERM shut
-//	    down gracefully.
+//	    down gracefully. The daemon serves from a live store: POST
+//	    /admin/append and /admin/retire mutate the running index with no
+//	    downtime, POST /admin/snapshot persists it, and -restore starts
+//	    from a snapshot without re-indexing (-snapshot-on-sigterm writes
+//	    a final snapshot after the graceful drain).
 //
 //	subseqctl distances -dataset traj -measure dfd -samples 10000
 //	    print the pairwise window distance distribution.
 //
-// See docs/CLI.md for the full CLI reference and docs/SERVING.md for the
-// serving architecture and HTTP API.
+// See docs/CLI.md for the full CLI reference, docs/SERVING.md for the
+// serving architecture and HTTP API, and docs/PERSISTENCE.md for the
+// store lifecycle and snapshot format.
 package main
 
 import (

@@ -10,21 +10,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/seq"
+	"repro/internal/store"
 	"repro/registry"
 )
 
 // subseqctl serve: the long-lived serving path. A session (dataset ×
 // measure × backend, resolved by the registry exactly as the query
-// subcommand resolves it) is built once at startup; every request is then
-// streamed through a QueryPool's Submit API, so concurrent requests
-// coalesce into shared index traversals and a slow client cannot queue
-// unbounded work (the pool's in-flight budget is the backpressure).
-// docs/SERVING.md is the full API reference.
+// subcommand resolves it) is built once at startup — or restored from a
+// snapshot in seconds with -restore — and wrapped in a live store
+// (internal/store); every request is then streamed through a QueryPool's
+// Submit API, so concurrent requests coalesce into shared index
+// traversals and a slow client cannot queue unbounded work (the pool's
+// in-flight budget is the backpressure). The admin surface mutates the
+// store while queries run: POST /admin/append, /admin/retire and
+// /admin/snapshot, with in-flight query claims draining before each
+// mutation. docs/SERVING.md covers the query API; docs/PERSISTENCE.md
+// covers the lifecycle and snapshot format.
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -32,13 +39,15 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", registry.DefaultServeAddr, "TCP listen address (host:port; :0 picks a free port)")
 	workers := fs.Int("workers", 0, "streaming worker goroutines; 0 selects GOMAXPROCS")
 	queue := fs.Int("queue", 0, "bounded in-flight submissions (backpressure); 0 selects the default")
+	restore := fs.String("restore", "", "restore the index from this snapshot file instead of building it (the snapshot must match the session flags)")
+	snapOnTerm := fs.String("snapshot-on-sigterm", "", "write a snapshot to this file during graceful shutdown, after in-flight queries drain")
 	fs.Parse(args)
 	srvSpec := registry.ServerSpec{SessionSpec: *spec, Addr: *addr, Workers: *workers, QueueDepth: *queue}
 	s, err := newSession(*spec)
 	if err != nil {
 		fail(err)
 	}
-	qs, err := s.newServer(srvSpec)
+	qs, err := s.newServer(srvSpec, *restore)
 	if err != nil {
 		fail(err)
 	}
@@ -50,6 +59,9 @@ func cmdServe(args []string) {
 	// The bound address is printed and echoed on /stats (not the requested
 	// one) so scripts may listen on :0 and scrape the port.
 	qs.setAddr(ln.Addr().String())
+	if *restore != "" {
+		fmt.Printf("subseqctl: restored %d windows from %s without re-indexing\n", qs.numWindows(), *restore)
+	}
 	fmt.Printf("subseqctl: serving %s on http://%s\n", s.describe(), ln.Addr())
 	hs := &http.Server{Handler: qs.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -68,6 +80,14 @@ func cmdServe(args []string) {
 		fail(err)
 	}
 	<-done
+	if *snapOnTerm != "" {
+		// Requests have drained; the store is quiescent. Snapshot it so the
+		// next start can -restore instead of re-indexing.
+		if err := qs.snapshot(*snapOnTerm); err != nil {
+			fail(err)
+		}
+		fmt.Printf("subseqctl: snapshot written to %s\n", *snapOnTerm)
+	}
 	fmt.Println("subseqctl: shut down")
 }
 
@@ -80,39 +100,77 @@ type queryServer interface {
 	// from the requested one under -addr :0), so /stats echoes a usable
 	// address. Call before serving requests.
 	setAddr(addr string)
+	numWindows() int
+	// snapshot writes the store to path atomically (temp file + rename).
+	snapshot(path string) error
 	close()
 }
 
-// typedServer owns the long-lived serving state: the matcher, the
-// streaming pool and the resolved configuration it echoes on /stats.
+// typedServer owns the long-lived serving state: the live store, the
+// streaming pool resolving it through the store's view guard, and the
+// resolved configuration it echoes on /stats.
 type typedServer[E any] struct {
-	sess  *typedSession[E]
-	cfg   registry.ServerConfig
-	mt    *core.Matcher[E]
-	pool  *core.QueryPool[E]
-	mux   *http.ServeMux
-	start time.Time
+	sess     *typedSession[E]
+	cfg      registry.ServerConfig
+	st       *store.Store[E]
+	pool     *core.QueryPool[E]
+	mux      *http.ServeMux
+	start    time.Time
+	restored bool
+	// sweepStop ends the TTL sweeper goroutine at close.
+	sweepStop chan struct{}
+	closeOnce sync.Once
 }
 
-func (s *typedSession[E]) newServer(spec registry.ServerSpec) (queryServer, error) {
+// ttlSweepInterval is how often the serving store retires TTL-expired
+// sequences.
+const ttlSweepInterval = 30 * time.Second
+
+func (s *typedSession[E]) newServer(spec registry.ServerSpec, restore string) (queryServer, error) {
 	cfg, err := spec.Resolve()
 	if err != nil {
 		return nil, err
 	}
-	mt, err := s.matcher()
+	var st *store.Store[E]
+	if restore != "" {
+		// Restore path: decode the snapshot instead of indexing the
+		// generated dataset. The snapshot header is validated against the
+		// session spec first — a snapshot taken under different flags is
+		// refused with the disagreement explained.
+		st, err = registry.OpenStoreFile[E](restore, s.spec)
+	} else {
+		st, err = s.store()
+	}
 	if err != nil {
 		return nil, err
 	}
 	srv := &typedServer[E]{
-		sess: s, cfg: cfg, mt: mt,
-		pool:  core.NewQueryPool(mt, cfg.Workers, core.WithQueueDepth(cfg.QueueDepth)),
-		start: time.Now(),
+		sess: s, cfg: cfg, st: st,
+		pool:      st.NewQueryPool(cfg.Workers, core.WithQueueDepth(cfg.QueueDepth)),
+		start:     time.Now(),
+		restored:  restore != "",
+		sweepStop: make(chan struct{}),
 	}
+	go func() {
+		t := time.NewTicker(ttlSweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-srv.sweepStop:
+				return
+			case <-t.C:
+				srv.st.Sweep()
+			}
+		}
+	}()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query/findall", srv.handleFindAll)
 	mux.HandleFunc("POST /query/longest", srv.handleLongest)
 	mux.HandleFunc("POST /query/nearest", srv.handleNearest)
 	mux.HandleFunc("POST /query/filter", srv.handleFilter)
+	mux.HandleFunc("POST /admin/append", srv.handleAppend)
+	mux.HandleFunc("POST /admin/retire", srv.handleRetire)
+	mux.HandleFunc("POST /admin/snapshot", srv.handleSnapshot)
 	mux.HandleFunc("GET /stats", srv.handleStats)
 	mux.HandleFunc("GET /healthz", srv.handleHealthz)
 	srv.mux = mux
@@ -122,7 +180,14 @@ func (s *typedSession[E]) newServer(spec registry.ServerSpec) (queryServer, erro
 func (srv *typedServer[E]) handler() http.Handler         { return srv.mux }
 func (srv *typedServer[E]) config() registry.ServerConfig { return srv.cfg }
 func (srv *typedServer[E]) setAddr(addr string)           { srv.cfg.Addr = addr }
-func (srv *typedServer[E]) close()                        { srv.pool.Close() }
+func (srv *typedServer[E]) numWindows() int               { return srv.st.Matcher().NumWindows() }
+func (srv *typedServer[E]) snapshot(path string) error    { return srv.st.SnapshotFile(path) }
+func (srv *typedServer[E]) close() {
+	srv.closeOnce.Do(func() {
+		close(srv.sweepStop)
+		srv.pool.Close()
+	})
+}
 
 // --- Wire formats (documented in docs/SERVING.md) ---
 
@@ -189,6 +254,15 @@ type statsResponse struct {
 		Verify int64 `json:"verify"`
 	} `json:"distance_calls"`
 	Stream core.StreamStats `json:"stream"`
+	// Store is the live-store census: allocated sequence IDs, live
+	// (non-retired) sequences, pending TTLs, and whether this process
+	// restored from a snapshot instead of indexing.
+	Store struct {
+		Sequences int  `json:"sequences"`
+		Live      int  `json:"live"`
+		TTLs      int  `json:"ttls"`
+		Restored  bool `json:"restored"`
+	} `json:"store"`
 }
 
 type errorResponse struct {
@@ -393,18 +467,159 @@ func (srv *typedServer[E]) handleFilter(w http.ResponseWriter, r *http.Request) 
 }
 
 func (srv *typedServer[E]) handleStats(w http.ResponseWriter, r *http.Request) {
+	// The atomic matcher peek: stats must not queue behind a mutation
+	// holding the store's write lock.
+	mt := srv.st.Matcher()
 	resp := statsResponse{
 		Config:        srv.cfg,
 		UptimeSeconds: time.Since(srv.start).Seconds(),
-		NumWindows:    srv.mt.NumWindows(),
+		NumWindows:    mt.NumWindows(),
 		Stream:        srv.pool.StreamStats(),
 	}
-	resp.DistanceCalls.Build = srv.mt.BuildDistanceCalls()
-	resp.DistanceCalls.Filter = srv.mt.FilterDistanceCalls()
-	resp.DistanceCalls.Verify = srv.mt.VerifyDistanceCalls()
+	resp.DistanceCalls.Build = mt.BuildDistanceCalls()
+	resp.DistanceCalls.Filter = mt.FilterDistanceCalls()
+	resp.DistanceCalls.Verify = mt.VerifyDistanceCalls()
+	ids, live := srv.st.Len()
+	resp.Store.Sequences = ids
+	resp.Store.Live = live
+	resp.Store.TTLs = len(srv.st.Expiries())
+	resp.Store.Restored = srv.restored
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (srv *typedServer[E]) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "num_windows": srv.mt.NumWindows()})
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "num_windows": srv.st.Matcher().NumWindows()})
+}
+
+// --- Admin surface (POST /admin/*): mutate the live store while queries
+// run. Each mutation takes the store's write lock, so it waits only for
+// query claims already in flight; docs/PERSISTENCE.md documents the
+// consistency model. ---
+
+// appendRequest is the body of POST /admin/append. Sequence uses the
+// same element-typed encoding as queries.
+type appendRequest struct {
+	Sequence json.RawMessage `json:"sequence"`
+	// TTLSeconds schedules the sequence for retirement after this many
+	// seconds (0 or absent: no TTL).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+type appendResponse struct {
+	SeqID         int `json:"seq_id"`
+	WindowsAdded  int `json:"windows_added"`
+	NumWindows    int `json:"num_windows"`
+	LiveSequences int `json:"live_sequences"`
+}
+
+func (srv *typedServer[E]) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if len(req.Sequence) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "sequence"`))
+		return
+	}
+	if req.TTLSeconds < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`"ttl_seconds" must be >= 0`))
+		return
+	}
+	x, err := decodeSeq[E](req.Sequence)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []store.AppendOption
+	if req.TTLSeconds > 0 {
+		opts = append(opts, store.WithTTL(time.Duration(req.TTLSeconds*float64(time.Second))))
+	}
+	res, err := srv.st.Append(x, opts...)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	_, live := srv.st.Len()
+	writeJSON(w, http.StatusOK, appendResponse{
+		SeqID: res.SeqID, WindowsAdded: res.Windows,
+		NumWindows: srv.st.Matcher().NumWindows(), LiveSequences: live,
+	})
+}
+
+type retireRequest struct {
+	SeqID *int `json:"seq_id"`
+}
+
+type retireResponse struct {
+	SeqID          int `json:"seq_id"`
+	WindowsRemoved int `json:"windows_removed"`
+	NumWindows     int `json:"num_windows"`
+}
+
+func (srv *typedServer[E]) handleRetire(w http.ResponseWriter, r *http.Request) {
+	var req retireRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.SeqID == nil {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "seq_id"`))
+		return
+	}
+	removed, err := srv.st.Retire(*req.SeqID)
+	switch {
+	case errors.Is(err, core.ErrRetireUnsupported):
+		// The backend cannot do it at all — a capability conflict, not a
+		// bad request.
+		writeErr(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, retireResponse{
+		SeqID: *req.SeqID, WindowsRemoved: removed,
+		NumWindows: srv.st.Matcher().NumWindows(),
+	})
+}
+
+// snapshotRequest is the body of POST /admin/snapshot: the server-side
+// path to write (the daemon may not share a filesystem with the client,
+// so the snapshot lands next to the daemon, atomically).
+type snapshotRequest struct {
+	Path string `json:"path"`
+}
+
+type snapshotResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+func (srv *typedServer[E]) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.Path == "" {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "path"`))
+		return
+	}
+	if err := srv.st.SnapshotFile(req.Path); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	info, err := os.Stat(req.Path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{Path: req.Path, Bytes: info.Size()})
 }

@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, dataset, measure, backend string) (*httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	qs, err := s.newServer(registry.ServerSpec{SessionSpec: spec, Workers: 2, QueueDepth: 16})
+	qs, err := s.newServer(registry.ServerSpec{SessionSpec: spec, Workers: 2, QueueDepth: 16}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,6 +263,146 @@ func TestServeStats(t *testing.T) {
 	}
 }
 
+// The admin surface mutates the live store end to end: append a
+// sequence (queries then find it), retire it (queries stop finding it),
+// snapshot to a file, and restore that file into a second server that
+// answers identically without re-indexing.
+func TestServeAdminLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, "proteins", "levenshtein-fast", "refnet")
+
+	// A distinctive sequence not present in the generated dataset.
+	novel := strings.Repeat("WYWYAC", 4)
+	q := fmt.Sprintf("%q", novel[:14])
+
+	var before matchesResponse
+	postJSON(t, ts, "/query/findall", `{"query":`+q+`,"eps":1}`, &before)
+
+	var ar appendResponse
+	if code := postJSON(t, ts, "/admin/append", fmt.Sprintf(`{"sequence":%q}`, novel), &ar); code != http.StatusOK {
+		t.Fatalf("append status %d", code)
+	}
+	if ar.WindowsAdded != len(novel)/6 {
+		t.Fatalf("append added %d windows, want %d", ar.WindowsAdded, len(novel)/6)
+	}
+	var after matchesResponse
+	postJSON(t, ts, "/query/findall", `{"query":`+q+`,"eps":1}`, &after)
+	found := false
+	for _, m := range after.Matches {
+		if m.SeqID == ar.SeqID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("appended sequence %d not found by queries (before %d, after %d matches)",
+			ar.SeqID, before.Count, after.Count)
+	}
+
+	// Snapshot while the appended sequence is live.
+	snap := filepath.Join(t.TempDir(), "live.snap")
+	var sr snapshotResponse
+	if code := postJSON(t, ts, "/admin/snapshot", fmt.Sprintf(`{"path":%q}`, snap), &sr); code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	if sr.Bytes <= 0 {
+		t.Fatalf("snapshot reported %d bytes", sr.Bytes)
+	}
+
+	var rr retireResponse
+	if code := postJSON(t, ts, "/admin/retire", fmt.Sprintf(`{"seq_id":%d}`, ar.SeqID), &rr); code != http.StatusOK {
+		t.Fatalf("retire status %d", code)
+	}
+	if rr.WindowsRemoved != ar.WindowsAdded {
+		t.Fatalf("retire removed %d windows, appended %d", rr.WindowsRemoved, ar.WindowsAdded)
+	}
+	var gone matchesResponse
+	postJSON(t, ts, "/query/findall", `{"query":`+q+`,"eps":1}`, &gone)
+	for _, m := range gone.Matches {
+		if m.SeqID == ar.SeqID {
+			t.Fatalf("retired sequence %d still matches", ar.SeqID)
+		}
+	}
+	var er errorResponse
+	if code := postJSON(t, ts, "/admin/retire", fmt.Sprintf(`{"seq_id":%d}`, ar.SeqID), &er); code != http.StatusBadRequest {
+		t.Fatalf("double retire status %d, want 400", code)
+	}
+
+	// Restore the snapshot into a fresh server: the appended sequence is
+	// back (the snapshot predates the retire) and queries answer
+	// identically, with zero build distances (refnet decode, not rebuild).
+	spec := newSpec("proteins", "levenshtein-fast", "refnet")
+	s2, err := newSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs2, err := s2.newServer(registry.ServerSpec{SessionSpec: spec, Workers: 2, QueueDepth: 16}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(qs2.handler())
+	defer func() { ts2.Close(); qs2.close() }()
+
+	var restoredMatches matchesResponse
+	postJSON(t, ts2, "/query/findall", `{"query":`+q+`,"eps":1}`, &restoredMatches)
+	if restoredMatches.Count != after.Count {
+		t.Fatalf("restored server finds %d matches, original found %d", restoredMatches.Count, after.Count)
+	}
+	for i := range restoredMatches.Matches {
+		if restoredMatches.Matches[i] != after.Matches[i] {
+			t.Fatalf("restored match %d = %+v, original %+v", i, restoredMatches.Matches[i], after.Matches[i])
+		}
+	}
+	var st2 statsResponse
+	getJSON(t, ts2, "/stats", &st2)
+	if !st2.Store.Restored {
+		t.Fatal("/stats does not report restored=true")
+	}
+	if st2.DistanceCalls.Build != 0 {
+		t.Fatalf("restored server computed %d build distances, want 0", st2.DistanceCalls.Build)
+	}
+
+	// A restore under mismatched session flags is refused with the field
+	// named.
+	wrong := newSpec("proteins", "weighted-edit", "refnet")
+	s3, err := newSession(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.newServer(registry.ServerSpec{SessionSpec: wrong}, snap); err == nil {
+		t.Fatal("restore under the wrong measure was accepted")
+	} else if !strings.Contains(err.Error(), "measure") {
+		t.Fatalf("mismatch rejection does not name the field: %v", err)
+	}
+}
+
+// Admin requests are validated like query requests.
+func TestServeAdminValidation(t *testing.T) {
+	ts, _ := newTestServer(t, "proteins", "levenshtein-fast", "refnet")
+	cases := []struct {
+		path, body string
+	}{
+		{"/admin/append", `{}`},                                 // missing sequence
+		{"/admin/append", `{"sequence":[1,2]}`},                 // wrong element encoding
+		{"/admin/append", `{"sequence":"AC","ttl_seconds":-1}`}, // negative TTL
+		{"/admin/retire", `{}`},                                 // missing seq_id
+		{"/admin/retire", `{"seq_id":99999}`},                   // unknown sequence
+		{"/admin/snapshot", `{}`},                               // missing path
+	}
+	for _, c := range cases {
+		var er errorResponse
+		if code := postJSON(t, ts, c.path, c.body, &er); code != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", c.path, c.body, code)
+		} else if er.Error == "" {
+			t.Errorf("POST %s %s: empty error body", c.path, c.body)
+		}
+	}
+	// The cover tree has no deletion: retire is a 409 capability conflict.
+	tc, _ := newTestServer(t, "proteins", "levenshtein-fast", "covertree")
+	var er errorResponse
+	if code := postJSON(t, tc, "/admin/retire", `{"seq_id":0}`, &er); code != http.StatusConflict {
+		t.Errorf("covertree retire status %d, want 409", code)
+	}
+}
+
 // TestServeSmokeBinary is the end-to-end smoke: build the real subseqctl
 // binary, start `serve` on a synthetic dataset, issue one query per
 // endpoint over real HTTP, check every JSON shape, then shut the daemon
@@ -378,5 +518,163 @@ func TestServeSmokeBinary(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("daemon did not shut down within 15s of SIGTERM")
+	}
+}
+
+// buildSubseqctl compiles the real binary into a temp dir.
+func buildSubseqctl(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "subseqctl")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building subseqctl: %v", err)
+	}
+	return bin
+}
+
+// startServeBinary starts `bin serve args...` and scrapes the bound
+// address from its stdout, draining the rest of the pipe in the
+// background.
+func startServeBinary(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRE := regexp.MustCompile(`on http://(\S+)`)
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		t.Fatalf("daemon never printed its address: %v", sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return cmd, base
+}
+
+// stopServeBinary SIGTERMs the daemon and waits for a clean exit.
+func stopServeBinary(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- cmd.Wait() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatalf("daemon exited with %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not shut down within 15s of SIGTERM")
+	}
+}
+
+// TestSnapshotSmokeBinary is the persistence end-to-end smoke CI runs
+// via `make snapshot-smoke`: serve, mutate over the admin API, snapshot,
+// restart from the snapshot in a fresh process, and check the restored
+// daemon answers byte-identically without re-indexing — then exercise
+// -snapshot-on-sigterm and verify that snapshot restores too.
+func TestSnapshotSmokeBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	bin := buildSubseqctl(t)
+	dir := t.TempDir()
+	snapLive := filepath.Join(dir, "live.snap")
+	snapTerm := filepath.Join(dir, "sigterm.snap")
+	session := []string{"-dataset", "proteins", "-windows", "150", "-windowlen", "8", "-workers", "2"}
+
+	cmd, base := startServeBinary(t, bin, append([]string{"-addr", "127.0.0.1:0"}, session...)...)
+	defer cmd.Process.Kill()
+	client := &http.Client{Timeout: 10 * time.Second}
+	postRaw := func(base, path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	// Mutate the live index, then capture a query answer to replay later.
+	novel := strings.Repeat("WYWYACDE", 3)
+	code, raw := postRaw(base, "/admin/append", fmt.Sprintf(`{"sequence":%q}`, novel))
+	if code != http.StatusOK {
+		t.Fatalf("append status %d: %s", code, raw)
+	}
+	query := fmt.Sprintf(`{"query":%q,"eps":1}`, novel[:16])
+	code, wantAnswer := postRaw(base, "/query/findall", query)
+	if code != http.StatusOK {
+		t.Fatalf("findall status %d", code)
+	}
+	var fa matchesResponse
+	if err := json.Unmarshal(wantAnswer, &fa); err != nil || fa.Count == 0 {
+		t.Fatalf("findall found nothing for the appended sequence: %s (%v)", wantAnswer, err)
+	}
+	if code, raw := postRaw(base, "/admin/snapshot", fmt.Sprintf(`{"path":%q}`, snapLive)); code != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", code, raw)
+	}
+	stopServeBinary(t, cmd)
+
+	// Restart from the snapshot: same answers, zero re-indexing work.
+	cmd2, base2 := startServeBinary(t, bin,
+		append([]string{"-addr", "127.0.0.1:0", "-restore", snapLive, "-snapshot-on-sigterm", snapTerm}, session...)...)
+	defer cmd2.Process.Kill()
+	code, gotAnswer := postRaw(base2, "/query/findall", query)
+	if code != http.StatusOK {
+		t.Fatalf("restored findall status %d", code)
+	}
+	if !bytes.Equal(gotAnswer, wantAnswer) {
+		t.Fatalf("restored daemon answered differently:\n got %s\nwant %s", gotAnswer, wantAnswer)
+	}
+	resp, err := client.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st statsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("/stats: invalid JSON %q: %v", raw, err)
+	}
+	if !st.Store.Restored {
+		t.Fatalf("/stats does not report restored=true: %s", raw)
+	}
+	if st.DistanceCalls.Build != 0 {
+		t.Fatalf("restored daemon computed %d build distances, want 0 (refnet decodes, never rebuilds)", st.DistanceCalls.Build)
+	}
+	stopServeBinary(t, cmd2)
+
+	// The SIGTERM snapshot landed and restores in-process.
+	info, err := os.Stat(snapTerm)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("-snapshot-on-sigterm left no snapshot: %v", err)
+	}
+	spec := registry.SessionSpec{Dataset: "proteins", Windows: 150, WindowLen: 8}
+	st3, err := registry.OpenStoreFile[byte](snapTerm, spec)
+	if err != nil {
+		t.Fatalf("restoring the SIGTERM snapshot: %v", err)
+	}
+	if _, live := st3.Len(); live == 0 {
+		t.Fatal("SIGTERM snapshot restored an empty store")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/refnet"
 	"repro/internal/seq"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/registry"
 )
 
@@ -30,8 +31,11 @@ type session interface {
 	distanceSample(samples int) []float64
 	runQuery(opts queryOpts) (string, error)
 	// newServer builds the long-lived serving state behind `subseqctl
-	// serve` (see serve.go): matcher, streaming pool and HTTP handlers.
-	newServer(spec registry.ServerSpec) (queryServer, error)
+	// serve` (see serve.go): the live store, streaming pool and HTTP
+	// handlers. A non-empty restore path restores the store from a
+	// snapshot (validated against this session's spec) instead of
+	// indexing the generated dataset.
+	newServer(spec registry.ServerSpec, restore string) (queryServer, error)
 }
 
 // queryOpts carries the query subcommand's flags.
@@ -127,11 +131,23 @@ func (s *typedSession[E]) distanceSample(samples int) []float64 {
 		func(a, b seq.Window[E]) float64 { return s.measure.Fn(a.Data, b.Data) }, samples, 1)
 }
 
-func (s *typedSession[E]) matcher() (*core.Matcher[E], error) {
-	return core.NewMatcher(s.measure, core.Config{
+func (s *typedSession[E]) config() core.Config {
+	return core.Config{
 		Params: core.Params{Lambda: 2 * s.spec.WindowLen, Lambda0: s.lambda0},
 		Index:  s.backend.Kind,
-	}, s.ds.Sequences)
+	}
+}
+
+func (s *typedSession[E]) matcher() (*core.Matcher[E], error) {
+	return core.NewMatcher(s.measure, s.config(), s.ds.Sequences)
+}
+
+// store builds the live, mutable serving store over the generated
+// dataset (see internal/store: same matcher underneath, plus the
+// append/retire/snapshot lifecycle behind `subseqctl serve`'s admin
+// endpoints).
+func (s *typedSession[E]) store() (*store.Store[E], error) {
+	return store.New(s.measure, s.config(), s.ds.Sequences)
 }
 
 // runQuery answers opts.queries generated queries. A single query takes the

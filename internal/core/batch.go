@@ -169,14 +169,37 @@ func (mt *Matcher[E]) LongestBatch(qs []seq.Sequence[E], eps float64) ([]Match, 
 //     context cancellation, graceful Close.
 //
 // Construct once and reuse; both faces may be used concurrently.
+//
+// A pool built with NewQueryPool serves one fixed matcher. A pool built
+// with NewQueryPoolView resolves its matcher through a MatcherView at
+// every entry point instead, which is how the store's serving tier gets
+// zero-downtime swaps: each barrier call or streaming claim pins the
+// current matcher (and its read guard) for exactly its own duration, so a
+// swap or mutation waits only for claims already in flight.
 type QueryPool[E any] struct {
 	mt          *Matcher[E]
+	view        MatcherView[E]
 	workers     int
 	queueDepth  int
 	maxCoalesce int
 
 	// streaming is the lazily-started engine behind the Submit methods.
 	streaming streamState[E]
+}
+
+// MatcherView resolves the matcher to answer one unit of query work with,
+// plus a release function invoked when that unit completes. The store
+// implements it as "RLock; return current matcher, RUnlock on release",
+// making every query a guarded reader of a consistent index view.
+type MatcherView[E any] func() (*Matcher[E], func())
+
+// acquire pins a matcher for one unit of query work. The returned release
+// must be called exactly once, after the last touch of the matcher.
+func (p *QueryPool[E]) acquire() (*Matcher[E], func()) {
+	if p.view != nil {
+		return p.view()
+	}
+	return p.mt, func() {}
 }
 
 // poolConfig carries the streaming-engine knobs a PoolOption may set —
@@ -232,6 +255,16 @@ func NewQueryPool[E any](mt *Matcher[E], workers int, opts ...PoolOption) *Query
 	}
 }
 
+// NewQueryPoolView is NewQueryPool over a MatcherView instead of a fixed
+// matcher: every batch-barrier call and every streaming claim resolves the
+// matcher afresh and holds its guard only for that unit of work. view must
+// not return nil.
+func NewQueryPoolView[E any](view MatcherView[E], workers int, opts ...PoolOption) *QueryPool[E] {
+	p := NewQueryPool[E](nil, workers, opts...)
+	p.view = view
+	return p
+}
+
 // Workers reports the pool's concurrency.
 func (p *QueryPool[E]) Workers() int { return p.workers }
 
@@ -281,9 +314,11 @@ func (p *QueryPool[E]) run(n int, process func(lo, hi int)) {
 // FilterHits runs the filtering steps for every query; result i is exactly
 // Matcher.FilterHits(qs[i], eps).
 func (p *QueryPool[E]) FilterHits(qs []seq.Sequence[E], eps float64) [][]Hit[E] {
+	mt, release := p.acquire()
+	defer release()
 	out := make([][]Hit[E], len(qs))
 	p.run(len(qs), func(lo, hi int) {
-		copy(out[lo:hi], p.mt.FilterHitsBatch(qs[lo:hi], eps))
+		copy(out[lo:hi], mt.FilterHitsBatch(qs[lo:hi], eps))
 	})
 	return out
 }
@@ -291,9 +326,11 @@ func (p *QueryPool[E]) FilterHits(qs []seq.Sequence[E], eps float64) [][]Hit[E] 
 // FindAll answers query Type I for every query; result i is exactly
 // Matcher.FindAll(qs[i], eps).
 func (p *QueryPool[E]) FindAll(qs []seq.Sequence[E], eps float64) [][]Match {
+	mt, release := p.acquire()
+	defer release()
 	out := make([][]Match, len(qs))
 	p.run(len(qs), func(lo, hi int) {
-		copy(out[lo:hi], p.mt.FindAllBatch(qs[lo:hi], eps))
+		copy(out[lo:hi], mt.FindAllBatch(qs[lo:hi], eps))
 	})
 	return out
 }
@@ -301,10 +338,12 @@ func (p *QueryPool[E]) FindAll(qs []seq.Sequence[E], eps float64) [][]Match {
 // Longest answers query Type II for every query; entry i is exactly
 // Matcher.Longest(qs[i], eps).
 func (p *QueryPool[E]) Longest(qs []seq.Sequence[E], eps float64) ([]Match, []bool) {
+	mt, release := p.acquire()
+	defer release()
 	matches := make([]Match, len(qs))
 	found := make([]bool, len(qs))
 	p.run(len(qs), func(lo, hi int) {
-		m, f := p.mt.LongestBatch(qs[lo:hi], eps)
+		m, f := mt.LongestBatch(qs[lo:hi], eps)
 		copy(matches[lo:hi], m)
 		copy(found[lo:hi], f)
 	})
@@ -316,11 +355,13 @@ func (p *QueryPool[E]) Longest(qs []seq.Sequence[E], eps float64) ([]Match, []bo
 // queries (each runs its own radius search), so the pool contributes
 // parallelism only.
 func (p *QueryPool[E]) Nearest(qs []seq.Sequence[E], opts NearestOptions) ([]Match, []bool) {
+	mt, release := p.acquire()
+	defer release()
 	matches := make([]Match, len(qs))
 	found := make([]bool, len(qs))
 	p.run(len(qs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			matches[i], found[i] = p.mt.Nearest(qs[i], opts)
+			matches[i], found[i] = mt.Nearest(qs[i], opts)
 		}
 	})
 	return matches, found

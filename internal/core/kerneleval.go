@@ -47,7 +47,10 @@ type preparedSlot[E any] struct {
 // Requires measure.Prepare != nil.
 func (mt *Matcher[E]) preparedInit() {
 	mt.preparedOnce.Do(func() {
-		mt.prepared = make([]preparedSlot[E], len(mt.windows))
+		mt.prepared = make([]*preparedSlot[E], len(mt.windows))
+		for i := range mt.prepared {
+			mt.prepared[i] = &preparedSlot[E]{}
+		}
 		index := make(map[winKey]int32, len(mt.windows))
 		for i, w := range mt.windows {
 			index[winKey{w.SeqID, w.Ord}] = int32(i)
@@ -60,7 +63,7 @@ func (mt *Matcher[E]) preparedInit() {
 // Safe for concurrent use: the winning goroutine builds, the rest wait on
 // the slot's once and read the published value.
 func (mt *Matcher[E]) preparedAt(i int32) dist.Prepared[E] {
-	s := &mt.prepared[i]
+	s := mt.prepared[i]
 	s.once.Do(func() { s.p = mt.measure.Prepare(mt.windows[i].Data) })
 	return s.p
 }

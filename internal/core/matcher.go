@@ -83,6 +83,16 @@ type Matcher[E any] struct {
 	// linear is set when the backend is IndexLinearScan; the incremental
 	// filter kernels need direct access to the window slice.
 	linear *metric.LinearScan[seq.Window[E]]
+	// net/ct/mv are the typed backend handles behind mt.index — the index
+	// lifecycle (lifecycle.go) needs backend-specific operations (tracked
+	// deletes, row removal, serialisation) the windowIndex face does not
+	// carry. Exactly one is non-nil, matching cfg.Index.
+	net *refnet.Net[seq.Window[E]]
+	ct  *covertree.Tree[seq.Window[E]]
+	mv  *refindex.Index[seq.Window[E]]
+	// tracked maps each indexed window to its refnet node handle so
+	// RetireSequence can Delete without searching (refnet backend only).
+	tracked map[winKey]*refnet.Node[seq.Window[E]]
 	// scratch pools per-query filter state (segment, probe and hit slices)
 	// so concurrent queries allocate nothing per segment.
 	scratch sync.Pool
@@ -95,8 +105,10 @@ type Matcher[E any] struct {
 	// for the windows its traversals actually visit; preparedOnce guards
 	// the cheap slot-array and window→slot map construction. winIndex maps
 	// a window back to its slot. See preparedAt (kerneleval.go).
+	// Slots are pointers so the lifecycle paths (lifecycle.go) can grow and
+	// compact the array without copying the per-slot sync.Once.
 	preparedOnce sync.Once
-	prepared     []preparedSlot[E]
+	prepared     []*preparedSlot[E]
 	winIndex     map[winKey]int32
 }
 
@@ -164,16 +176,19 @@ func NewMatcher[E any](m dist.Measure[E], cfg Config, db []seq.Sequence[E]) (*Ma
 					return bounded(a.Data, b.Data, eps)
 				}))
 		}
+		mt.tracked = make(map[winKey]*refnet.Node[seq.Window[E]], len(mt.windows))
 		for _, w := range mt.windows {
-			net.Insert(w)
+			mt.tracked[winKey{w.SeqID, w.Ord}] = net.InsertTracked(w)
 		}
 		mt.index = net
+		mt.net = net
 	case IndexCoverTree:
 		ct := covertree.New(windowDist, cfg.Base)
 		for _, w := range mt.windows {
 			ct.Insert(w)
 		}
 		mt.index = ct
+		mt.ct = ct
 	case IndexMV:
 		if len(mt.windows) == 0 {
 			return nil, fmt.Errorf("core: MV index requires a non-empty database")
@@ -183,6 +198,7 @@ func NewMatcher[E any](m dist.Measure[E], cfg Config, db []seq.Sequence[E]) (*Ma
 			return nil, err
 		}
 		mt.index = mv
+		mt.mv = mv
 	case IndexLinearScan:
 		ls := metric.NewLinearScan(windowDist)
 		if m.Bounded != nil {

@@ -421,27 +421,31 @@ func (p *QueryPool[E]) streamWorker() {
 
 // runBatch answers one claimed run — all jobs share a coalesce key — with a
 // single batched call and completes each job's future with its own slice of
-// the result.
+// the result. The matcher is pinned per claim, so a view-backed pool holds
+// its read guard only while a claim is actually computing — between claims
+// the store is free to mutate or swap.
 func (p *QueryPool[E]) runBatch(jobs []*streamJob[E], qs []seq.Sequence[E]) {
+	mt, release := p.acquire()
+	defer release()
 	switch jobs[0].kind {
 	case kindFilter:
-		hits := p.mt.FilterHitsBatch(qs, jobs[0].eps)
+		hits := mt.FilterHitsBatch(qs, jobs[0].eps)
 		for i, j := range jobs {
 			j.fHits.complete(hits[i], nil)
 		}
 	case kindFindAll:
-		ms := p.mt.FindAllBatch(qs, jobs[0].eps)
+		ms := mt.FindAllBatch(qs, jobs[0].eps)
 		for i, j := range jobs {
 			j.fAll.complete(ms[i], nil)
 		}
 	case kindLongest:
-		ms, found := p.mt.LongestBatch(qs, jobs[0].eps)
+		ms, found := mt.LongestBatch(qs, jobs[0].eps)
 		for i, j := range jobs {
 			j.fOne.complete(QueryResult{Match: ms[i], Found: found[i]}, nil)
 		}
 	case kindNearest:
 		for i, j := range jobs {
-			m, ok := p.mt.Nearest(qs[i], j.opts)
+			m, ok := mt.Nearest(qs[i], j.opts)
 			j.fOne.complete(QueryResult{Match: m, Found: ok}, nil)
 		}
 	}

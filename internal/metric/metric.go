@@ -206,4 +206,26 @@ func (s *LinearScan[T]) Exists(q T, eps float64) bool {
 // Items exposes the stored items (shared slice; callers must not mutate).
 func (s *LinearScan[T]) Items() []T { return s.items }
 
+// RemoveFunc deletes every item for which pred returns true, preserving
+// the order of the remaining items (the scan's result order is its
+// insertion order, and callers depend on that staying stable across
+// removals). It returns the number of items removed. Not safe to call
+// concurrently with queries.
+func (s *LinearScan[T]) RemoveFunc(pred func(T) bool) int {
+	kept := s.items[:0]
+	for _, it := range s.items {
+		if !pred(it) {
+			kept = append(kept, it)
+		}
+	}
+	removed := len(s.items) - len(kept)
+	// Zero the tail so removed payloads don't pin their backing arrays.
+	var zero T
+	for i := len(kept); i < len(s.items); i++ {
+		s.items[i] = zero
+	}
+	s.items = kept
+	return removed
+}
+
 var _ Index[int] = (*LinearScan[int])(nil)

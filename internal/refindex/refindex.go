@@ -19,10 +19,16 @@ import (
 	"repro/internal/metric"
 )
 
-// Index is a reference-based metric index built over a fixed item set by
-// Build. It is immutable after construction (matching [36], which
-// precomputes the distance table offline); use Build again to index more
-// data.
+// Index is a reference-based metric index built over an initial item set
+// by Build. The reference set is fixed at construction (matching [36],
+// which selects references offline), but the item set may evolve: Insert
+// appends an item and its table row (k distance computations), and
+// RemoveFunc drops items with their rows. References are stored by value,
+// so removing the item a reference was chosen from does not invalidate it
+// — it simply remains a pivot. Reference quality is only a pruning
+// concern, never a correctness one, so an index that has drifted far from
+// its build-time distribution still answers exactly; rebuild when pruning
+// degrades.
 type Index[T any] struct {
 	dist  metric.DistFunc[T]
 	items []T
@@ -74,8 +80,11 @@ func Build[T any](items []T, k int, dist metric.DistFunc[T], opts Options) (*Ind
 
 	refs := selectMaxVariance(items, k, dist, opts, rng)
 	idx := &Index[T]{
-		dist:  dist,
-		items: items,
+		dist: dist,
+		// Copy: Insert/RemoveFunc mutate the item slice, and sharing the
+		// caller's backing array would let those mutations collide with the
+		// caller's own appends.
+		items: append([]T(nil), items...),
 		refs:  refs,
 		table: make([]float64, len(items)*k),
 		k:     k,
@@ -137,6 +146,42 @@ func selectMaxVariance[T any](items []T, k int, dist metric.DistFunc[T], opts Op
 
 // Len reports the number of indexed items.
 func (x *Index[T]) Len() int { return len(x.items) }
+
+// Insert appends an item, computing its k reference distances. Result
+// order of Range is item insertion order, so an index grown by Insert
+// answers queries identically to one built over the full set up front
+// (references affect pruning cost only, never which items are returned).
+// Not safe to call concurrently with queries.
+func (x *Index[T]) Insert(item T) {
+	x.items = append(x.items, item)
+	for _, r := range x.refs {
+		x.table = append(x.table, x.dist(item, r))
+	}
+}
+
+// RemoveFunc deletes every item for which pred returns true, along with
+// its distance-table row, preserving the order of the remainder. It
+// returns the number of items removed. Not safe to call concurrently with
+// queries.
+func (x *Index[T]) RemoveFunc(pred func(T) bool) int {
+	kept := x.items[:0]
+	table := x.table[:0]
+	for i, it := range x.items {
+		if pred(it) {
+			continue
+		}
+		kept = append(kept, it)
+		table = append(table, x.table[i*x.k:(i+1)*x.k]...)
+	}
+	removed := len(x.items) - len(kept)
+	var zero T
+	for i := len(kept); i < len(x.items); i++ {
+		x.items[i] = zero
+	}
+	x.items = kept
+	x.table = table
+	return removed
+}
 
 // K reports the number of references.
 func (x *Index[T]) K() int { return x.k }

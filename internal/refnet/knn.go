@@ -26,6 +26,15 @@ type Neighbor[T any] struct {
 // smaller than the current k-th nearest distance. Stored parent-child
 // distances prune children without distance computations, exactly as in
 // range queries.
+//
+// When the net's distance has a bounded evaluation (SetBounded), candidate
+// pricing runs through it with a radius that shrinks as the result heap
+// fills: once k results are held, a child at cover radius ρ only matters if
+// δ(q,c) < kth + ρ (below kth it enters the heap; below kth+ρ its subtree
+// could still hold an entrant), so the evaluation early-abandons at that
+// threshold. An abandoned value exceeds the threshold, which proves the
+// candidate neither enters the heap nor expands the frontier — results are
+// bit-identical to the unbounded traversal, at a fraction of the cost.
 func (t *Net[T]) KNN(q T, k int) []Neighbor[T] {
 	if t.root == nil || k <= 0 {
 		return nil
@@ -76,7 +85,21 @@ func (t *Net[T]) KNN(q T, k int) []Neighbor[T] {
 			if lo-rho >= kth() {
 				continue // whole subtree provably too far, zero computations
 			}
-			dc := t.dist(q, c.item)
+			var dc float64
+			if limit := kth() + rho; t.bounded != nil && !math.IsInf(limit, 1) {
+				// Shrinking-radius pricing: a value > kth+ρ — exact or
+				// abandoned — proves the candidate cannot enter the heap
+				// (needs < kth) nor host an entrant in its subtree (needs
+				// < kth+ρ). Values ≤ kth+ρ are exact by the
+				// BoundedDistFunc contract, so heap contents never hold an
+				// approximation.
+				dc = t.bounded(q, c.item, limit)
+				if dc > limit {
+					continue
+				}
+			} else {
+				dc = t.dist(q, c.item)
+			}
 			offer(c.item, dc)
 			if len(c.children) > 0 && dc-rho < kth() {
 				heap.Push(frontier, frontierEntry[T]{c, dc, dc - rho})

@@ -140,3 +140,51 @@ func TestKNNAfterDeletions(t *testing.T) {
 		}
 	}
 }
+
+// TestKNNBoundedMatchesExact: with a bounded evaluation armed, KNN must
+// return bit-identical results to the unbounded traversal — the shrinking
+// radius kth+ρ only ever abandons candidates that could neither enter the
+// heap nor expand the frontier. Also checks that abandoning actually
+// happens (fewer full-cost evaluations), so the optimisation is live.
+func TestKNNBoundedMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	var full, abandoned int
+	bounded := func(a, b, eps float64) float64 {
+		d := absDist(a, b)
+		if d > eps {
+			abandoned++
+			return eps + 1 // inexact, just provably > eps
+		}
+		full++
+		return d
+	}
+	exact := New(absDist, WithMaxParents(5))
+	armed := New(absDist, WithMaxParents(5))
+	var items []float64
+	for i := 0; i < 600; i++ {
+		v := rng.Float64() * 500
+		items = append(items, v)
+		exact.Insert(v)
+		armed.Insert(v)
+	}
+	armed.SetBounded(bounded)
+	for _, k := range []int{1, 5, 25} {
+		for trial := 0; trial < 20; trial++ {
+			q := rng.Float64() * 500
+			a, b := exact.KNN(q, k), armed.KNN(q, k)
+			if len(a) != len(b) {
+				t.Fatalf("k=%d: %d vs %d results", k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("k=%d q=%v rank %d: exact %v, bounded %v", k, q, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	if abandoned == 0 {
+		t.Error("bounded evaluation never abandoned: shrinking radius not exercised")
+	}
+	// The bounded net must also satisfy the metric.Index contract still.
+	var _ metric.Index[float64] = armed
+}

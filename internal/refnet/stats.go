@@ -101,6 +101,24 @@ func (t *Net[T]) walk(visit func(*Node[T])) {
 	}
 }
 
+// Walk visits every node handle exactly once, in the net's stable walk
+// order (the order Save serialises nodes in). Callers use it to rebuild
+// side tables keyed by item identity after Load — e.g. the matcher's
+// window→handle map that feeds Delete. The handles remain valid until the
+// node is deleted. visit must not mutate the net.
+func (t *Net[T]) Walk(visit func(*Node[T])) { t.walk(visit) }
+
+// RewriteItems replaces every stored item with fn(item). It exists for
+// one purpose: after Load, item payloads own freshly decoded storage, and
+// a caller holding the canonical backing data (e.g. restored database
+// sequences) can re-alias payload views onto it instead of keeping two
+// copies alive. fn MUST be distance-preserving — the rewritten item must
+// be metrically identical to the original, or every stored edge distance
+// becomes a lie and queries are silently wrong.
+func (t *Net[T]) RewriteItems(fn func(T) T) {
+	t.walk(func(n *Node[T]) { n.item = fn(n.item) })
+}
+
 // Items returns all stored items in unspecified order.
 func (t *Net[T]) Items() []T {
 	out := make([]T, 0, t.size)

@@ -1,0 +1,450 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// Snapshot wire format, version 1. Everything is little-endian and the
+// whole stream is covered by a trailing CRC32 (IEEE), so any single-byte
+// corruption is caught before a damaged index reaches a serving process.
+//
+//	offset  size  field
+//	0       8     magic "SSNAPv1\0"
+//	8       4     header length H (uint32, ≤ 1 MiB)
+//	12      H     header (gob-encoded Header)
+//	...     8     sequence block length S (uint64, ≤ 4 GiB)
+//	...     S     sequences (gob-encoded []seq.Sequence[E], tombstones
+//	              listed in Header.Tombstones — the decoder re-nils them)
+//	...     8     TTL block length T (uint64, ≤ 4 GiB)
+//	...     T     TTL table (gob-encoded []ttlEntry, sorted by SeqID)
+//	...     8     index block length I (uint64, ≤ 4 GiB)
+//	...     I     serialised index (refnet.Save bytes; I = 0 for backends
+//	              with no serialised form, which Open rebuilds from the
+//	              sequences)
+//	...     4     CRC32-IEEE of every preceding byte
+//
+// The header names the measure, element type, backend and every
+// construction parameter; Open refuses a snapshot whose header does not
+// match the session it is being opened under (see MismatchError), so a
+// byte-identical index can never be silently reinterpreted under a
+// different distance.
+const (
+	snapMagic = "SSNAPv1\x00"
+
+	// FormatVersion is the snapshot format version this build writes and
+	// the only one it accepts.
+	FormatVersion = 1
+
+	maxHeaderBytes = 1 << 20
+	maxBlockBytes  = 1 << 32
+)
+
+// Header is the snapshot's self-description: enough to reconstruct the
+// matcher configuration and to refuse restoration under a mismatched
+// session. Parameter fields hold the values the store was configured
+// with (0 meaning "the default", exactly as in core.Config).
+type Header struct {
+	Version    int
+	Measure    string // measure name (dist.Measure.Name)
+	Elem       string // element type: "byte", "float64", "point2"
+	Backend    string // index backend: "refnet", "covertree", "mv", "linear"
+	Lambda     int
+	Lambda0    int
+	WindowLen  int // derived λ/2, for display
+	Base       float64
+	MaxParents int
+	MVRefs     int
+	Seed       uint64
+	Sequences  int   // sequence IDs allocated (including tombstones)
+	Live       int   // non-tombstoned sequences
+	Windows    int   // indexed windows at snapshot time
+	Tombstones []int // retired sequence IDs
+}
+
+// ttlEntry is one row of the serialised TTL table.
+type ttlEntry struct {
+	SeqID  int
+	Expire int64 // unix nanoseconds
+}
+
+// CorruptError reports a snapshot stream that cannot be decoded: it
+// carries the byte offset at which decoding failed and the reason.
+type CorruptError struct {
+	Offset int64
+	Reason string
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("store: corrupt snapshot at offset %d: %s: %v", e.Offset, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("store: corrupt snapshot at offset %d: %s", e.Offset, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// MismatchError reports a well-formed snapshot that belongs to a
+// different session: a field of its header disagrees with what the
+// opener requires. Restoring anyway would silently reinterpret the index
+// under the wrong distance or parameters, so Open refuses with the
+// field, the snapshot's value and the required value spelled out.
+type MismatchError struct {
+	Field string // which header field disagrees
+	Got   string // the snapshot's value
+	Want  string // the opener's value
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("store: snapshot was taken under %s %q but this session requires %q; rebuild or open under the matching session", e.Field, e.Got, e.Want)
+}
+
+// parseBackend maps a header backend name to its core.IndexKind.
+func parseBackend(name string) (core.IndexKind, bool) {
+	for _, k := range []core.IndexKind{core.IndexRefNet, core.IndexCoverTree, core.IndexMV, core.IndexLinearScan} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// crcWriter tees writes through a running CRC32 and tracks the offset.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	off int64
+}
+
+func newCRCWriter(w io.Writer) *crcWriter {
+	return &crcWriter{w: w, crc: crc32.NewIEEE()}
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	cw.off += int64(n)
+	return n, err
+}
+
+// crcReader tees reads through a running CRC32 and tracks the offset,
+// minting CorruptErrors that carry it.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	off int64
+}
+
+func newCRCReader(r io.Reader) *crcReader {
+	return &crcReader{r: r, crc: crc32.NewIEEE()}
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	cr.off += int64(n)
+	return n, err
+}
+
+func (cr *crcReader) corrupt(reason string, err error) *CorruptError {
+	return &CorruptError{Offset: cr.off, Reason: reason, Err: err}
+}
+
+// readBlock reads exactly n bytes, growing the buffer with the bytes
+// actually present so a corrupt length claim cannot pre-allocate gigabytes.
+func (cr *crcReader) readBlock(n int64, what string) ([]byte, error) {
+	var buf bytes.Buffer
+	copied, err := io.Copy(&buf, io.LimitReader(cr, n))
+	if err != nil {
+		return nil, cr.corrupt(fmt.Sprintf("reading %s", what), err)
+	}
+	if copied != n {
+		return nil, cr.corrupt(fmt.Sprintf("%s truncated: %d of %d bytes", what, copied, n), io.ErrUnexpectedEOF)
+	}
+	return buf.Bytes(), nil
+}
+
+// header builds the store's self-description. Caller holds at least the
+// read lock.
+func (s *Store[E]) header() Header {
+	db := s.mt.DB()
+	h := Header{
+		Version:    FormatVersion,
+		Measure:    s.measure.Name,
+		Elem:       dist.ElemName[E](),
+		Backend:    s.cfg.Index.String(),
+		Lambda:     s.cfg.Params.Lambda,
+		Lambda0:    s.cfg.Params.Lambda0,
+		WindowLen:  s.cfg.Params.WindowLen(),
+		Base:       s.cfg.Base,
+		MaxParents: s.cfg.MaxParents,
+		MVRefs:     s.cfg.MVRefs,
+		Seed:       s.cfg.Seed,
+		Sequences:  len(db),
+		Windows:    s.mt.NumWindows(),
+	}
+	for id, x := range db {
+		if x == nil {
+			h.Tombstones = append(h.Tombstones, id)
+		} else {
+			h.Live++
+		}
+	}
+	return h
+}
+
+// writeSnapshot emits the full snapshot stream. Caller holds at least
+// the read lock.
+func (s *Store[E]) writeSnapshot(w io.Writer) error {
+	cw := newCRCWriter(w)
+	if _, err := cw.Write([]byte(snapMagic)); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+
+	writeGob32 := func(v any, what string) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return fmt.Errorf("store: snapshot: encoding %s: %w", what, err)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint32(buf.Len())); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		_, err := cw.Write(buf.Bytes())
+		return err
+	}
+	writeGob64 := func(v any, what string) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return fmt.Errorf("store: snapshot: encoding %s: %w", what, err)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+		_, err := cw.Write(buf.Bytes())
+		return err
+	}
+
+	if err := writeGob32(s.header(), "header"); err != nil {
+		return err
+	}
+	if err := writeGob64(s.mt.DB(), "sequences"); err != nil {
+		return err
+	}
+	ttls := make([]ttlEntry, 0, len(s.expiry))
+	for id, deadline := range s.expiry {
+		ttls = append(ttls, ttlEntry{SeqID: id, Expire: deadline.UnixNano()})
+	}
+	// Sort so identical store states produce identical snapshot bytes.
+	for i := 1; i < len(ttls); i++ {
+		for j := i; j > 0 && ttls[j].SeqID < ttls[j-1].SeqID; j-- {
+			ttls[j], ttls[j-1] = ttls[j-1], ttls[j]
+		}
+	}
+	if err := writeGob64(ttls, "ttl table"); err != nil {
+		return err
+	}
+
+	var index bytes.Buffer
+	if s.cfg.Index == core.IndexRefNet {
+		if err := s.mt.SaveIndex(&index); err != nil {
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint64(index.Len())); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := cw.Write(index.Bytes()); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+
+	if err := binary.Write(w, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadHeader decodes and returns just the snapshot header from r,
+// without restoring anything — the inspection path (subseqctl and the
+// registry use it to explain what a snapshot contains, and to refuse
+// mismatched restores before any decoding work happens). The stream CRC
+// is NOT verified (that requires reading the whole stream; Open does).
+func ReadHeader(r io.Reader) (Header, error) {
+	cr := newCRCReader(r)
+	h, err := readHeader(cr)
+	if err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
+func readHeader(cr *crcReader) (Header, error) {
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return Header{}, cr.corrupt("reading magic", err)
+	}
+	if string(magic) != snapMagic {
+		return Header{}, &CorruptError{Offset: 0, Reason: fmt.Sprintf("bad magic %q (not a snapshot stream)", magic)}
+	}
+	var hlen uint32
+	if err := binary.Read(cr, binary.LittleEndian, &hlen); err != nil {
+		return Header{}, cr.corrupt("reading header length", err)
+	}
+	if hlen > maxHeaderBytes {
+		return Header{}, cr.corrupt(fmt.Sprintf("header length %d exceeds cap %d", hlen, maxHeaderBytes), nil)
+	}
+	hbytes, err := cr.readBlock(int64(hlen), "header")
+	if err != nil {
+		return Header{}, err
+	}
+	var h Header
+	if err := gob.NewDecoder(bytes.NewReader(hbytes)).Decode(&h); err != nil {
+		return Header{}, cr.corrupt("decoding header", err)
+	}
+	if h.Version != FormatVersion {
+		return Header{}, &CorruptError{Offset: cr.off, Reason: fmt.Sprintf("snapshot format version %d; this build reads version %d", h.Version, FormatVersion)}
+	}
+	return h, nil
+}
+
+// readBlock64 reads a uint64-framed block.
+func (cr *crcReader) readBlock64(what string) ([]byte, error) {
+	var blen uint64
+	if err := binary.Read(cr, binary.LittleEndian, &blen); err != nil {
+		return nil, cr.corrupt(fmt.Sprintf("reading %s length", what), err)
+	}
+	if blen > maxBlockBytes {
+		return nil, cr.corrupt(fmt.Sprintf("%s length %d exceeds cap %d", what, blen, maxBlockBytes), nil)
+	}
+	return cr.readBlock(int64(blen), what)
+}
+
+// Open restores a Store from a snapshot stream written by Snapshot,
+// under the measure m. The snapshot header is validated first: the
+// element type and measure name must match m, and check (if non-nil) may
+// impose further requirements — the registry passes a check that holds
+// the header against the resolved session spec, so a mismatched restore
+// is refused with the offending field explained rather than producing a
+// silently wrong index. For the reference-net backend the index
+// structure is decoded, not rebuilt: restoring computes zero distances.
+func Open[E any](r io.Reader, m dist.Measure[E], check func(Header) error, opts ...Option) (*Store[E], error) {
+	cr := newCRCReader(r)
+	h, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	if elem := dist.ElemName[E](); h.Elem != elem {
+		return nil, &MismatchError{Field: "element type", Got: h.Elem, Want: elem}
+	}
+	if h.Measure != m.Name {
+		return nil, &MismatchError{Field: "measure", Got: h.Measure, Want: m.Name}
+	}
+	kind, ok := parseBackend(h.Backend)
+	if !ok {
+		return nil, &CorruptError{Offset: cr.off, Reason: fmt.Sprintf("unknown backend %q", h.Backend)}
+	}
+	if check != nil {
+		if err := check(h); err != nil {
+			return nil, err
+		}
+	}
+
+	sbytes, err := cr.readBlock64("sequence block")
+	if err != nil {
+		return nil, err
+	}
+	var db []seq.Sequence[E]
+	if err := gob.NewDecoder(bytes.NewReader(sbytes)).Decode(&db); err != nil {
+		return nil, cr.corrupt("decoding sequences", err)
+	}
+	if len(db) != h.Sequences {
+		return nil, cr.corrupt(fmt.Sprintf("header claims %d sequences, block holds %d", h.Sequences, len(db)), nil)
+	}
+	for _, id := range h.Tombstones {
+		if id < 0 || id >= len(db) {
+			return nil, cr.corrupt(fmt.Sprintf("tombstone id %d out of range [0,%d)", id, len(db)), nil)
+		}
+		db[id] = nil
+	}
+
+	tbytes, err := cr.readBlock64("TTL block")
+	if err != nil {
+		return nil, err
+	}
+	var ttls []ttlEntry
+	if err := gob.NewDecoder(bytes.NewReader(tbytes)).Decode(&ttls); err != nil {
+		return nil, cr.corrupt("decoding TTL table", err)
+	}
+	for _, e := range ttls {
+		if e.SeqID < 0 || e.SeqID >= len(db) || db[e.SeqID] == nil {
+			return nil, cr.corrupt(fmt.Sprintf("TTL entry for absent sequence %d", e.SeqID), nil)
+		}
+	}
+
+	ibytes, err := cr.readBlock64("index block")
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify the stream checksum before building anything from it.
+	sum := cr.crc.Sum32()
+	var stored uint32
+	if err := binary.Read(cr, binary.LittleEndian, &stored); err != nil {
+		return nil, cr.corrupt("reading checksum", err)
+	}
+	if stored != sum {
+		return nil, cr.corrupt(fmt.Sprintf("checksum mismatch: stream %08x, computed %08x", stored, sum), nil)
+	}
+
+	cfg := core.Config{
+		Params:     core.Params{Lambda: h.Lambda, Lambda0: h.Lambda0},
+		Index:      kind,
+		Base:       h.Base,
+		MaxParents: h.MaxParents,
+		MVRefs:     h.MVRefs,
+		Seed:       h.Seed,
+	}
+	var mt *core.Matcher[E]
+	switch {
+	case kind == core.IndexRefNet:
+		if len(ibytes) == 0 {
+			return nil, &CorruptError{Offset: cr.off, Reason: "refnet snapshot has no index block"}
+		}
+		mt, err = core.NewMatcherFromSavedIndex(m, cfg, db, bytes.NewReader(ibytes))
+	default:
+		// Backends with no serialised form rebuild from the sequences.
+		mt, err = core.NewMatcher(m, cfg, db)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	if mt.NumWindows() != h.Windows {
+		return nil, fmt.Errorf("store: open: restored index holds %d windows, header claims %d", mt.NumWindows(), h.Windows)
+	}
+	s := adopt(m, cfg, mt, opts...)
+	for _, e := range ttls {
+		s.expiry[e.SeqID] = time.Unix(0, e.Expire)
+	}
+	return s, nil
+}
+
+// OpenFile is Open over a snapshot file.
+func OpenFile[E any](path string, m dist.Measure[E], check func(Header) error, opts ...Option) (*Store[E], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	defer f.Close()
+	return Open(f, m, check, opts...)
+}

@@ -1,0 +1,400 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+func randSeq(rng *rand.Rand, n int) seq.Sequence[byte] {
+	s := make(seq.Sequence[byte], n)
+	for i := range s {
+		s[i] = byte('A' + rng.Intn(4))
+	}
+	return s
+}
+
+func randDB(rng *rand.Rand, n, minLen, maxLen int) []seq.Sequence[byte] {
+	db := make([]seq.Sequence[byte], n)
+	for i := range db {
+		db[i] = randSeq(rng, minLen+rng.Intn(maxLen-minLen+1))
+	}
+	return db
+}
+
+var testCfg = core.Config{Params: core.Params{Lambda: 12, Lambda0: 2}, MVRefs: 3}
+
+func testStore(t *testing.T, kind core.IndexKind, opts ...Option) (*Store[byte], []seq.Sequence[byte], *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	db := randDB(rng, 8, 24, 40)
+	cfg := testCfg
+	cfg.Index = kind
+	s, err := New(dist.LevenshteinMeasure[byte](), cfg, db, opts...)
+	if err != nil {
+		t.Fatalf("%v: New: %v", kind, err)
+	}
+	return s, db, rng
+}
+
+func sameMatches(t *testing.T, label string, got, want []core.Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// A snapshot taken after live mutation restores to a store that answers
+// bit-identically, without recomputing distances on the refnet backend.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, kind := range []core.IndexKind{core.IndexRefNet, core.IndexCoverTree, core.IndexMV, core.IndexLinearScan} {
+		s, _, rng := testStore(t, kind)
+		if _, err := s.Append(randSeq(rng, 30)); err != nil {
+			t.Fatalf("%v: append: %v", kind, err)
+		}
+		if kind != core.IndexCoverTree {
+			if _, err := s.Retire(2); err != nil {
+				t.Fatalf("%v: retire: %v", kind, err)
+			}
+		}
+		q := randSeq(rng, 26)
+		const eps = 3
+		want := s.Matcher().FindAll(q, eps)
+
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			t.Fatalf("%v: snapshot: %v", kind, err)
+		}
+		restored, err := Open(bytes.NewReader(buf.Bytes()), dist.LevenshteinMeasure[byte](), nil)
+		if err != nil {
+			t.Fatalf("%v: open: %v", kind, err)
+		}
+		sameMatches(t, fmt.Sprintf("%v restored", kind), restored.Matcher().FindAll(q, eps), want)
+		if kind == core.IndexRefNet {
+			if calls := restored.Matcher().BuildDistanceCalls(); calls != 0 {
+				t.Errorf("refnet restore computed %d build distances, want 0", calls)
+			}
+		}
+		ids, live := restored.Len()
+		wantIDs, wantLive := s.Len()
+		if ids != wantIDs || live != wantLive {
+			t.Fatalf("%v: restored Len = (%d,%d), want (%d,%d)", kind, ids, live, wantIDs, wantLive)
+		}
+		// The restored store is live: mutate and query it.
+		if _, err := restored.Append(randSeq(rng, 28)); err != nil {
+			t.Fatalf("%v: append after restore: %v", kind, err)
+		}
+		if kind != core.IndexCoverTree {
+			if _, err := restored.Retire(0); err != nil {
+				t.Fatalf("%v: retire after restore: %v", kind, err)
+			}
+		}
+	}
+}
+
+// ReadHeader describes a snapshot without restoring it.
+func TestReadHeader(t *testing.T) {
+	s, db, _ := testStore(t, core.IndexRefNet)
+	if _, err := s.Retire(1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Measure != "levenshtein" || h.Elem != "byte" || h.Backend != "refnet" {
+		t.Fatalf("header = %+v", h)
+	}
+	if h.Lambda != 12 || h.Lambda0 != 2 || h.WindowLen != 6 {
+		t.Fatalf("header params = %+v", h)
+	}
+	if h.Sequences != len(db) || h.Live != len(db)-1 || len(h.Tombstones) != 1 || h.Tombstones[0] != 1 {
+		t.Fatalf("header census = %+v", h)
+	}
+}
+
+// Open refuses mismatched sessions with the offending field explained.
+func TestOpenMismatchRejections(t *testing.T) {
+	s, _, _ := testStore(t, core.IndexRefNet)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var mm *MismatchError
+	if _, err := Open(bytes.NewReader(buf.Bytes()), dist.WeightedEditMeasure(), nil); !errors.As(err, &mm) {
+		t.Fatalf("wrong measure: %v, want MismatchError", err)
+	} else if mm.Field != "measure" {
+		t.Fatalf("wrong measure rejected as %q", mm.Field)
+	}
+	if _, err := Open(bytes.NewReader(buf.Bytes()), dist.ERPMeasure(dist.AbsDiff, 0), nil); !errors.As(err, &mm) {
+		t.Fatalf("wrong element type: %v, want MismatchError", err)
+	} else if mm.Field != "element type" {
+		t.Fatalf("wrong element type rejected as %q", mm.Field)
+	}
+	sentinel := errors.New("spec says no")
+	if _, err := Open(bytes.NewReader(buf.Bytes()), dist.LevenshteinMeasure[byte](), func(Header) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("check rejection: %v, want sentinel", err)
+	}
+}
+
+// Every truncation and every byte flip is caught: truncations as typed
+// CorruptErrors, flips as some refusal (flips ahead of the checksum can
+// surface as explained mismatches; none may restore silently).
+func TestOpenCorruption(t *testing.T) {
+	s, _, _ := testStore(t, core.IndexRefNet)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	lev := dist.LevenshteinMeasure[byte]()
+
+	for cut := 0; cut < len(blob); cut += 13 {
+		_, err := Open(bytes.NewReader(blob[:cut]), lev, nil)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: %v, want CorruptError", cut, err)
+		}
+		if ce.Offset < 0 || ce.Offset > int64(cut) {
+			t.Fatalf("truncation at %d: offset witness %d out of range", cut, ce.Offset)
+		}
+	}
+	for pos := 0; pos < len(blob); pos += 7 {
+		mangled := append([]byte(nil), blob...)
+		mangled[pos] ^= 0x40
+		if _, err := Open(bytes.NewReader(mangled), lev, nil); err == nil {
+			t.Fatalf("flip at %d restored silently", pos)
+		}
+	}
+}
+
+// TTL'd sequences are retired by Sweep once the injected clock passes
+// their deadline, and deadlines survive a snapshot/restore.
+func TestTTLSweep(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	s, db, rng := testStore(t, core.IndexRefNet, WithClock(now))
+
+	res, err := s.Append(randSeq(rng, 30), WithTTL(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired, err := s.Sweep(); err != nil || len(retired) != 0 {
+		t.Fatalf("premature sweep: %v, %v", retired, err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Open(bytes.NewReader(buf.Bytes()), dist.LevenshteinMeasure[byte](), nil, WithClock(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp := restored.Expiries(); len(exp) != 1 || !exp[res.SeqID].Equal(clock.Add(10*time.Second)) {
+		t.Fatalf("restored expiries = %v", exp)
+	}
+
+	clock = clock.Add(11 * time.Second)
+	for _, st := range []*Store[byte]{s, restored} {
+		retired, err := st.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(retired) != 1 || retired[0] != res.SeqID {
+			t.Fatalf("sweep retired %v, want [%d]", retired, res.SeqID)
+		}
+		if ids, live := st.Len(); ids != len(db)+1 || live != len(db) {
+			t.Fatalf("after sweep Len = (%d,%d)", ids, live)
+		}
+		if retired, err := st.Sweep(); err != nil || len(retired) != 0 {
+			t.Fatalf("second sweep: %v, %v", retired, err)
+		}
+	}
+}
+
+// SnapshotFile lands atomically and OpenFile restores it.
+func TestSnapshotFile(t *testing.T) {
+	s, _, rng := testStore(t, core.IndexRefNet)
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenFile(path, dist.LevenshteinMeasure[byte](), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randSeq(rng, 24)
+	sameMatches(t, "file restore", restored.Matcher().FindAll(q, 3), s.Matcher().FindAll(q, 3))
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("snapshot left %d files in dir, want 1", len(ents))
+	}
+}
+
+// Queries, appends, retires and snapshots interleave safely: the view
+// guard drains in-flight query claims before each mutation. Run with
+// -race; results are checked for internal consistency at the end.
+func TestConcurrentMutationAndQueries(t *testing.T) {
+	s, db, rng := testStore(t, core.IndexRefNet)
+	pool := s.NewQueryPool(2)
+	queries := make([]seq.Sequence[byte], 6)
+	for i := range queries {
+		queries[i] = randSeq(rng, 24)
+	}
+	extra := make([]seq.Sequence[byte], 12)
+	for i := range extra {
+		extra[i] = randSeq(rng, 26+i)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pool.FindAll([]seq.Sequence[byte]{queries[(g+i)%len(queries)]}, 3)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			pool.Submit(context.Background(), queries[i%len(queries)], 3).Await(context.Background())
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range extra {
+			if _, err := s.Append(x); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Retire(i); err != nil {
+				t.Errorf("retire %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			var buf bytes.Buffer
+			if err := s.Snapshot(&buf); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			if _, err := Open(bytes.NewReader(buf.Bytes()), dist.LevenshteinMeasure[byte](), nil); err != nil {
+				t.Errorf("open mid-flight snapshot: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Let the mutators finish, then stop the query loops.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(stop)
+	}()
+	<-done
+	pool.Close()
+
+	// The settled store answers exactly like a rebuild over its final
+	// database.
+	final := append([]seq.Sequence[byte](nil), db...)
+	final = append(final, extra...)
+	for i := 0; i < 3; i++ {
+		final[i] = nil
+	}
+	cfg := testCfg
+	cfg.Index = core.IndexRefNet
+	rebuilt, err := core.NewMatcher(dist.LevenshteinMeasure[byte](), cfg, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		got := sortedPairs(s.Matcher().FindAll(q, 3))
+		want := sortedPairs(rebuilt.FindAll(q, 3))
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d matches after settle, rebuild finds %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d match %d: %+v vs rebuild %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// sortedPairs canonicalises a match list for order-insensitive
+// comparison (retire re-homes refnet orphans, so traversal order may
+// differ from a fresh build while the match set is identical).
+func sortedPairs(ms []core.Match) []core.Match {
+	out := append([]core.Match(nil), ms...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b core.Match) bool {
+	if a.SeqID != b.SeqID {
+		return a.SeqID < b.SeqID
+	}
+	if a.XStart != b.XStart {
+		return a.XStart < b.XStart
+	}
+	if a.XEnd != b.XEnd {
+		return a.XEnd < b.XEnd
+	}
+	if a.QStart != b.QStart {
+		return a.QStart < b.QStart
+	}
+	if a.QEnd != b.QEnd {
+		return a.QEnd < b.QEnd
+	}
+	return a.Dist < b.Dist
+}

@@ -1,0 +1,105 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	subseq "repro"
+)
+
+func snapSpec() SessionSpec {
+	return SessionSpec{Dataset: "proteins", Measure: "levenshtein-fast", Backend: "refnet",
+		Windows: 40, WindowLen: 8, Seed: 3}
+}
+
+// A snapshot taken under a spec restores under the same spec and keeps
+// answering identically; the restored refnet recomputes no distances.
+func TestOpenStoreRoundTrip(t *testing.T) {
+	st, ds, err := NewStore[byte](snapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(append(subseq.Sequence[byte](nil), ds.Sequences[0]...)); err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Sequences[0][:18]
+	want := st.Matcher().FindAll(q, 2)
+	if len(want) == 0 {
+		t.Fatal("no matches for a verbatim database subsequence")
+	}
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenStore[byte](bytes.NewReader(buf.Bytes()), snapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Matcher().FindAll(q, 2)
+	if len(got) != len(want) {
+		t.Fatalf("restored store finds %d matches, original %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: restored %+v, original %+v", i, got[i], want[i])
+		}
+	}
+	if calls := restored.Matcher().BuildDistanceCalls(); calls != 0 {
+		t.Fatalf("restore computed %d build distances, want 0", calls)
+	}
+}
+
+// OpenStore under a mismatched spec is refused with the disagreeing
+// field explained — measure, backend and parameters all gate.
+func TestOpenStoreMismatchedSpecs(t *testing.T) {
+	st, _, err := NewStore[byte](snapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		mut   func(*SessionSpec)
+		field string
+	}{
+		{"measure", func(s *SessionSpec) { s.Measure = "weighted-edit" }, "measure"},
+		{"backend", func(s *SessionSpec) { s.Backend = "covertree" }, "backend"},
+		{"window length", func(s *SessionSpec) { s.WindowLen = 10 }, "lambda"},
+		{"lambda0", func(s *SessionSpec) { s.Lambda0 = 2 }, "lambda0"},
+	}
+	for _, c := range cases {
+		spec := snapSpec()
+		c.mut(&spec)
+		_, err := OpenStore[byte](bytes.NewReader(buf.Bytes()), spec)
+		var mm *subseq.SnapshotMismatchError
+		if !errors.As(err, &mm) {
+			t.Fatalf("%s mismatch: error %v, want SnapshotMismatchError", c.name, err)
+		}
+		if mm.Field != c.field {
+			t.Fatalf("%s mismatch rejected as field %q, want %q", c.name, mm.Field, c.field)
+		}
+		if mm.Error() == "" || mm.Got == mm.Want {
+			t.Fatalf("%s mismatch not explained: %+v", c.name, mm)
+		}
+	}
+	// Element-type mismatch: a byte snapshot opened under a float64 spec.
+	spec := snapSpec()
+	spec.Dataset = "songs"
+	spec.Measure = ""
+	_, err = OpenStore[float64](bytes.NewReader(buf.Bytes()), spec)
+	var mm *subseq.SnapshotMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("element mismatch: error %v, want SnapshotMismatchError", err)
+	}
+
+	// The matching spec still restores (the snapshot itself is fine).
+	if _, err := OpenStore[byte](bytes.NewReader(buf.Bytes()), snapSpec()); err != nil {
+		t.Fatalf("matching spec refused: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ package subseq
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/covertree"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/refindex"
 	"repro/internal/refnet"
 	"repro/internal/seq"
+	"repro/internal/store"
 )
 
 // Sequence is an ordered series of elements over an arbitrary alphabet.
@@ -340,6 +342,91 @@ type MVIndex[T any] = refindex.Index[T]
 // NewMVIndex builds a reference-based index with k references.
 func NewMVIndex[T any](items []T, k int, d func(a, b T) float64) (*MVIndex[T], error) {
 	return refindex.Build(items, k, metric.DistFunc[T](d), refindex.Options{})
+}
+
+// The live index lifecycle (internal/store): streaming ingest, deletion
+// and zero-downtime snapshot/restore over a running matcher. See
+// docs/PERSISTENCE.md.
+
+// Store wraps a Matcher with the lifecycle a long-lived serving process
+// needs: Append/Retire mutate the live index while queries run (queries
+// go through View or a pool from Store.NewQueryPool and drain before
+// each mutation), Sweep retires TTL-expired sequences, and
+// Snapshot/OpenStore persist and restore the whole state through a
+// versioned, checksummed format.
+type Store[E any] = store.Store[E]
+
+// StoreOption configures a Store at construction (WithClock).
+type StoreOption = store.Option
+
+// AppendOption configures one Store.Append (AppendTTL).
+type AppendOption = store.AppendOption
+
+// AppendResult reports what a Store.Append did.
+type AppendResult = store.AppendResult
+
+// SnapshotHeader is a snapshot's self-description: measure, element
+// type, backend, parameters and sequence census. OpenStore validates it
+// against the opening session before restoring anything.
+type SnapshotHeader = store.Header
+
+// SnapshotCorruptError reports a snapshot stream that cannot be decoded,
+// with the byte offset at which decoding failed.
+type SnapshotCorruptError = store.CorruptError
+
+// SnapshotMismatchError reports a well-formed snapshot that belongs to a
+// different session (wrong measure, element type or parameters).
+type SnapshotMismatchError = store.MismatchError
+
+// ErrRetireUnsupported is returned by Store.Retire on backends with no
+// deletion operation (the cover tree baseline).
+var ErrRetireUnsupported = core.ErrRetireUnsupported
+
+// NewStore builds a live Store over db (see NewMatcher for the
+// construction semantics; the Store adds mutation and persistence).
+func NewStore[E any](m Measure[E], cfg Config, db []Sequence[E], opts ...StoreOption) (*Store[E], error) {
+	return store.New(m, cfg, db, opts...)
+}
+
+// OpenStore restores a Store from a snapshot stream written by
+// Store.Snapshot. The element type and measure must match the snapshot's
+// header; check (optional) may impose further requirements — the
+// registry's OpenStore passes one that holds the header against a full
+// session spec. Refnet-backed snapshots restore without recomputing any
+// distances.
+func OpenStore[E any](r io.Reader, m Measure[E], check func(SnapshotHeader) error, opts ...StoreOption) (*Store[E], error) {
+	return store.Open(r, m, check, opts...)
+}
+
+// OpenStoreFile is OpenStore over a snapshot file.
+func OpenStoreFile[E any](path string, m Measure[E], check func(SnapshotHeader) error, opts ...StoreOption) (*Store[E], error) {
+	return store.OpenFile(path, m, check, opts...)
+}
+
+// ReadSnapshotHeader decodes just the header of a snapshot stream — the
+// inspection path; nothing is restored and the stream CRC is not
+// verified.
+func ReadSnapshotHeader(r io.Reader) (SnapshotHeader, error) {
+	return store.ReadHeader(r)
+}
+
+// AppendTTL schedules a sequence appended with it for retirement once d
+// has elapsed (Store.Sweep performs the retirement).
+func AppendTTL(d time.Duration) AppendOption { return store.WithTTL(d) }
+
+// WithClock substitutes the Store's wall clock for TTL bookkeeping.
+func WithClock(now func() time.Time) StoreOption { return store.WithClock(now) }
+
+// MatcherView resolves the matcher answering one unit of query work plus
+// a release function — the hook NewQueryPoolView pools query against a
+// mutable Store instead of a fixed Matcher.
+type MatcherView[E any] = core.MatcherView[E]
+
+// NewQueryPoolView is NewQueryPool over a MatcherView: every batch call
+// and streaming claim resolves the matcher afresh and holds its guard
+// only for that unit of work. Store.NewQueryPool is the common way in.
+func NewQueryPoolView[E any](view MatcherView[E], workers int, opts ...PoolOption) *QueryPool[E] {
+	return core.NewQueryPoolView(view, workers, opts...)
 }
 
 // Partition splits a sequence into consecutive windows of length l.
