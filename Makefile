@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke chaos-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -49,6 +49,14 @@ serve-smoke:
 # -snapshot-on-sigterm (TestSnapshotSmokeBinary drives the whole flow).
 snapshot-smoke:
 	$(GO) test -run TestSnapshotSmokeBinary -count=1 -v ./cmd/subseqctl
+
+# chaos-smoke drives the fault-injection harness (internal/chaos) under
+# the race detector on a CI time budget: worker kills mid-claim, evaluator
+# stalls against deadlines, queue slams past depth and cancellation
+# storms, asserting no deadlock, no leaked futures and bit-identical
+# results for every completed query.
+chaos-smoke:
+	$(GO) test -race -short -count=1 -timeout 300s -v ./internal/chaos
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

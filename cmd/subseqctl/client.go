@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryClient is the client half of the serving tier's load-shedding
+// contract: the daemon answers a saturated queue with 429 (shed) or 503
+// (shutting down) plus a Retry-After, and a well-behaved client backs
+// off and retries a bounded number of times instead of hammering the
+// queue. postJSONRetry implements that — jittered exponential backoff,
+// Retry-After honoured when the server names a wait, transport errors
+// retried the same way — so scripts driving subseqctl serve under load
+// get it for free.
+type retryClient struct {
+	hc *http.Client
+	// attempts caps total tries (first call + retries); ≤ 0 selects 4.
+	attempts int
+	// backoff is the first retry delay, growing ×2 per retry with ±25%
+	// jitter up to maxBackoff; ≤ 0 selects 100ms / 2s.
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+// retryable reports whether the daemon asked the client to come back
+// later rather than rejecting the request outright.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryAfter extracts a server-named wait from the response, if any.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	if resp == nil {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// postJSON POSTs body to url, retrying shed (429) and unavailable (503)
+// responses and transport errors with jittered exponential backoff until
+// the attempt budget runs out or ctx is done. Any other response —
+// success or a definitive error — is returned to the caller as is; the
+// caller owns closing its body. When the budget runs out the last shed
+// response is returned (not an error), so callers still see the status
+// and body the daemon sent.
+func (c *retryClient) postJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	attempts := c.attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	wait := c.backoff
+	if wait <= 0 {
+		wait = 100 * time.Millisecond
+	}
+	maxWait := c.maxBackoff
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	hc := c.hc
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var resp *http.Response
+	var err error
+	for attempt := 1; ; attempt++ {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if rerr != nil {
+			return nil, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = hc.Do(req)
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		if attempt >= attempts {
+			if err != nil {
+				return nil, fmt.Errorf("%d attempts: %w", attempts, err)
+			}
+			return resp, nil
+		}
+		d := wait + time.Duration(rand.Int64N(int64(wait)/2+1)) - wait/4
+		if ra, ok := retryAfter(resp); ok && ra > d {
+			d = ra
+		}
+		if resp != nil {
+			// Drain so the connection is reusable before sleeping.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(d):
+		}
+		if wait *= 2; wait > maxWait {
+			wait = maxWait
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The retry helper rides out transient shedding: two 429s with
+// Retry-After, then success.
+func TestRetryClientRecoversFromShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	c := &retryClient{attempts: 4, backoff: time.Millisecond, maxBackoff: 5 * time.Millisecond}
+	resp, err := c.postJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+// The attempt budget bounds the retries, and the last shed response is
+// surfaced (status and body intact), not swallowed.
+func TestRetryClientBoundedAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"shutting down"}`)
+	}))
+	defer ts.Close()
+
+	c := &retryClient{attempts: 3, backoff: time.Millisecond, maxBackoff: 2 * time.Millisecond}
+	resp, err := c.postJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the last 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"error":"shutting down"}` {
+		t.Fatalf("last response body lost: %q", body)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want exactly the budget of 3", n)
+	}
+}
+
+// Definitive errors (here a 400) pass through on the first attempt —
+// retrying a malformed request would never help.
+func TestRetryClientNoRetryOnDefinitiveError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &retryClient{attempts: 5, backoff: time.Millisecond}
+	resp, err := c.postJSON(context.Background(), ts.URL, []byte(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || calls.Load() != 1 {
+		t.Fatalf("status %d after %d calls, want 400 after 1", resp.StatusCode, calls.Load())
+	}
+}
+
+// A cancelled context stops the retry loop between attempts.
+func TestRetryClientHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := &retryClient{attempts: 100, backoff: 10 * time.Millisecond, maxBackoff: 10 * time.Millisecond}
+	if _, err := c.postJSON(ctx, ts.URL, []byte(`{}`)); err == nil {
+		t.Fatal("expected a context error, got a response")
+	}
+}

@@ -41,8 +41,16 @@ func cmdServe(args []string) {
 	queue := fs.Int("queue", 0, "bounded in-flight submissions (backpressure); 0 selects the default")
 	restore := fs.String("restore", "", "restore the index from this snapshot file instead of building it (the snapshot must match the session flags)")
 	snapOnTerm := fs.String("snapshot-on-sigterm", "", "write a snapshot to this file during graceful shutdown, after in-flight queries drain")
+	shed := fs.String("shed", "", "load-shedding policy when the queue is full: block (default), reject or fair")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline; expired queries are dropped before a worker prices them (0: none)")
+	snapInterval := fs.Duration("snapshot-interval", 0, "write a background snapshot to -snapshot-path this often (0: disabled)")
+	snapPath := fs.String("snapshot-path", "", "target file for -snapshot-interval snapshots (written atomically)")
 	fs.Parse(args)
-	srvSpec := registry.ServerSpec{SessionSpec: *spec, Addr: *addr, Workers: *workers, QueueDepth: *queue}
+	srvSpec := registry.ServerSpec{
+		SessionSpec: *spec, Addr: *addr, Workers: *workers, QueueDepth: *queue,
+		Shed: *shed, RequestTimeout: *reqTimeout,
+		SnapshotInterval: *snapInterval, SnapshotPath: *snapPath,
+	}
 	s, err := newSession(*spec)
 	if err != nil {
 		fail(err)
@@ -59,7 +67,7 @@ func cmdServe(args []string) {
 	// The bound address is printed and echoed on /stats (not the requested
 	// one) so scripts may listen on :0 and scrape the port.
 	qs.setAddr(ln.Addr().String())
-	if *restore != "" {
+	if qs.wasRestored() {
 		fmt.Printf("subseqctl: restored %d windows from %s without re-indexing\n", qs.numWindows(), *restore)
 	}
 	fmt.Printf("subseqctl: serving %s on http://%s\n", s.describe(), ln.Addr())
@@ -101,6 +109,10 @@ type queryServer interface {
 	// address. Call before serving requests.
 	setAddr(addr string)
 	numWindows() int
+	// wasRestored reports whether the store actually restored from the
+	// -restore snapshot (false when a corrupt snapshot was quarantined
+	// and the index rebuilt instead).
+	wasRestored() bool
 	// snapshot writes the store to path atomically (temp file + rename).
 	snapshot(path string) error
 	close()
@@ -117,6 +129,10 @@ type typedServer[E any] struct {
 	mux      *http.ServeMux
 	start    time.Time
 	restored bool
+	// reqTimeout bounds each query request end to end (0: none); sched is
+	// the background snapshot loop (nil unless -snapshot-interval is set).
+	reqTimeout time.Duration
+	sched      *store.Scheduler
 	// sweepStop ends the TTL sweeper goroutine at close.
 	sweepStop chan struct{}
 	closeOnce sync.Once
@@ -131,13 +147,33 @@ func (s *typedSession[E]) newServer(spec registry.ServerSpec, restore string) (q
 	if err != nil {
 		return nil, err
 	}
+	shed, err := core.ParseShedPolicy(cfg.Shed)
+	if err != nil {
+		return nil, err
+	}
 	var st *store.Store[E]
+	restored := false
 	if restore != "" {
 		// Restore path: decode the snapshot instead of indexing the
 		// generated dataset. The snapshot header is validated against the
 		// session spec first — a snapshot taken under different flags is
-		// refused with the disagreement explained.
+		// refused with the disagreement explained. A snapshot whose bytes
+		// are corrupt (as opposed to mismatched) is quarantined and the
+		// index rebuilt, so one bad file never wedges a restart loop.
 		st, err = registry.OpenStoreFile[E](restore, s.spec)
+		var corrupt *store.CorruptError
+		switch {
+		case err == nil:
+			restored = true
+		case errors.As(err, &corrupt):
+			qpath, qerr := store.Quarantine(restore)
+			if qerr != nil {
+				return nil, fmt.Errorf("snapshot %s is corrupt (%v) and could not be quarantined: %w", restore, corrupt, qerr)
+			}
+			fmt.Fprintf(os.Stderr, "subseqctl: snapshot %s is corrupt (%v); quarantined to %s, rebuilding the index\n",
+				restore, corrupt, qpath)
+			st, err = s.store()
+		}
 	} else {
 		st, err = s.store()
 	}
@@ -146,10 +182,20 @@ func (s *typedSession[E]) newServer(spec registry.ServerSpec, restore string) (q
 	}
 	srv := &typedServer[E]{
 		sess: s, cfg: cfg, st: st,
-		pool:      st.NewQueryPool(cfg.Workers, core.WithQueueDepth(cfg.QueueDepth)),
-		start:     time.Now(),
-		restored:  restore != "",
-		sweepStop: make(chan struct{}),
+		pool:       st.NewQueryPool(cfg.Workers, core.WithQueueDepth(cfg.QueueDepth), core.WithShedPolicy(shed)),
+		start:      time.Now(),
+		restored:   restored,
+		reqTimeout: spec.RequestTimeout,
+		sweepStop:  make(chan struct{}),
+	}
+	if spec.SnapshotInterval > 0 {
+		srv.sched, err = st.ScheduleSnapshots(spec.SnapshotPath, spec.SnapshotInterval,
+			store.WithSnapshotOnError(func(err error) {
+				fmt.Fprintf(os.Stderr, "subseqctl: background snapshot: %v\n", err)
+			}))
+		if err != nil {
+			return nil, err
+		}
 	}
 	go func() {
 		t := time.NewTicker(ttlSweepInterval)
@@ -181,10 +227,14 @@ func (srv *typedServer[E]) handler() http.Handler         { return srv.mux }
 func (srv *typedServer[E]) config() registry.ServerConfig { return srv.cfg }
 func (srv *typedServer[E]) setAddr(addr string)           { srv.cfg.Addr = addr }
 func (srv *typedServer[E]) numWindows() int               { return srv.st.Matcher().NumWindows() }
+func (srv *typedServer[E]) wasRestored() bool             { return srv.restored }
 func (srv *typedServer[E]) snapshot(path string) error    { return srv.st.SnapshotFile(path) }
 func (srv *typedServer[E]) close() {
 	srv.closeOnce.Do(func() {
 		close(srv.sweepStop)
+		if srv.sched != nil {
+			srv.sched.Stop()
+		}
 		srv.pool.Close()
 	})
 }
@@ -254,6 +304,9 @@ type statsResponse struct {
 		Verify int64 `json:"verify"`
 	} `json:"distance_calls"`
 	Stream core.StreamStats `json:"stream"`
+	// Snapshots is the background snapshot scheduler's health; absent
+	// unless -snapshot-interval is set.
+	Snapshots *store.SchedulerStats `json:"snapshots,omitempty"`
 	// Store is the live-store census: allocated sequence IDs, live
 	// (non-retired) sequences, pending TTLs, and whether this process
 	// restored from a snapshot instead of indexing.
@@ -348,18 +401,55 @@ func needEps(req queryRequest) (float64, error) {
 	return *req.Eps, nil
 }
 
-// submitErrStatus maps a streaming-submission error to an HTTP status:
-// client-abandoned contexts map to 499 (the de-facto "client closed
-// request"), a closed pool to 503.
+// submitErrStatus maps a streaming-submission error to an HTTP status,
+// the contract documented in docs/SERVING.md ("Operating under load"):
+// shed queries are 429 Too Many Requests, deadline-expired queries 504
+// Gateway Timeout, client-abandoned contexts 499 (the de-facto "client
+// closed request"), a closed pool 503 Service Unavailable, and a crashed
+// worker 500.
 func submitErrStatus(err error) int {
 	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, core.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return 499
 	case errors.Is(err, core.ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeSubmitErr maps err through submitErrStatus; retryable statuses
+// (429, 503) carry a Retry-After so well-behaved clients back off instead
+// of hammering a saturated queue.
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	status := submitErrStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeErr(w, status, err)
+}
+
+// submitOpts assembles the per-request admission metadata: the request
+// context (bounded by -request-timeout when set), a matching submission
+// deadline so expired queries are dropped before a worker prices them,
+// and the tenant attribution from the X-Tenant header (for the fair-share
+// shed policy). The cancel func must be deferred by the caller.
+func (srv *typedServer[E]) submitOpts(r *http.Request) (context.Context, context.CancelFunc, []core.SubmitOption) {
+	ctx := r.Context()
+	cancel := func() {}
+	var opts []core.SubmitOption
+	if srv.reqTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, srv.reqTimeout)
+		opts = append(opts, core.WithSubmitTimeout(srv.reqTimeout))
+	}
+	if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+		opts = append(opts, core.WithTenant(tenant))
+	}
+	return ctx, cancel, opts
 }
 
 func (srv *typedServer[E]) handleFindAll(w http.ResponseWriter, r *http.Request) {
@@ -373,9 +463,11 @@ func (srv *typedServer[E]) handleFindAll(w http.ResponseWriter, r *http.Request)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ms, err := srv.pool.Submit(r.Context(), q, eps).Await(r.Context())
+	ctx, cancel, sopts := srv.submitOpts(r)
+	defer cancel()
+	ms, err := srv.pool.Submit(ctx, q, eps, sopts...).Await(ctx)
 	if err != nil {
-		writeErr(w, submitErrStatus(err), err)
+		writeSubmitErr(w, err)
 		return
 	}
 	resp := matchesResponse{Count: len(ms), Matches: make([]wireMatch, len(ms))}
@@ -396,9 +488,11 @@ func (srv *typedServer[E]) handleLongest(w http.ResponseWriter, r *http.Request)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := srv.pool.SubmitLongest(r.Context(), q, eps).Await(r.Context())
+	ctx, cancel, sopts := srv.submitOpts(r)
+	defer cancel()
+	res, err := srv.pool.SubmitLongest(ctx, q, eps, sopts...).Await(ctx)
 	if err != nil {
-		writeErr(w, submitErrStatus(err), err)
+		writeSubmitErr(w, err)
 		return
 	}
 	resp := bestResponse{Found: res.Found}
@@ -427,9 +521,11 @@ func (srv *typedServer[E]) handleNearest(w http.ResponseWriter, r *http.Request)
 		writeErr(w, http.StatusBadRequest, errors.New(`"eps_inc" must be > 0`))
 		return
 	}
-	res, err := srv.pool.SubmitNearest(r.Context(), q, opts).Await(r.Context())
+	ctx, cancel, sopts := srv.submitOpts(r)
+	defer cancel()
+	res, err := srv.pool.SubmitNearest(ctx, q, opts, sopts...).Await(ctx)
 	if err != nil {
-		writeErr(w, submitErrStatus(err), err)
+		writeSubmitErr(w, err)
 		return
 	}
 	resp := bestResponse{Found: res.Found}
@@ -451,9 +547,11 @@ func (srv *typedServer[E]) handleFilter(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	hits, err := srv.pool.SubmitFilter(r.Context(), q, eps).Await(r.Context())
+	ctx, cancel, sopts := srv.submitOpts(r)
+	defer cancel()
+	hits, err := srv.pool.SubmitFilter(ctx, q, eps, sopts...).Await(ctx)
 	if err != nil {
-		writeErr(w, submitErrStatus(err), err)
+		writeSubmitErr(w, err)
 		return
 	}
 	resp := hitsResponse{Count: len(hits), Hits: make([]wireHit, len(hits))}
@@ -479,6 +577,10 @@ func (srv *typedServer[E]) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.DistanceCalls.Build = mt.BuildDistanceCalls()
 	resp.DistanceCalls.Filter = mt.FilterDistanceCalls()
 	resp.DistanceCalls.Verify = mt.VerifyDistanceCalls()
+	if srv.sched != nil {
+		ss := srv.sched.Stats()
+		resp.Snapshots = &ss
+	}
 	ids, live := srv.st.Len()
 	resp.Store.Sequences = ids
 	resp.Store.Live = live

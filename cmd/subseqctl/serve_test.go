@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -36,6 +38,24 @@ func newTestServer(t *testing.T, dataset, measure, backend string) (*httptest.Se
 	ts := httptest.NewServer(qs.handler())
 	t.Cleanup(func() { ts.Close(); qs.close() })
 	return ts, qs.config()
+}
+
+// newTestServerSpec is newTestServer over a caller-built ServerSpec, for
+// tests exercising the robustness knobs (shedding, timeouts, background
+// snapshots); restore names a snapshot file to restore from.
+func newTestServerSpec(t *testing.T, spec registry.ServerSpec, restore string) (*httptest.Server, queryServer) {
+	t.Helper()
+	s, err := newSession(spec.SessionSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := s.newServer(spec, restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(qs.handler())
+	t.Cleanup(func() { ts.Close(); qs.close() })
+	return ts, qs
 }
 
 // postJSON POSTs body to path and decodes the JSON response into out,
@@ -403,6 +423,186 @@ func TestServeAdminValidation(t *testing.T) {
 	}
 }
 
+// Under the reject policy, slamming a depth-1 queue sheds requests with
+// 429 + Retry-After while the surviving requests still answer 200; the
+// shed/completed tallies on /stats account for every request.
+func TestServeShedsWith429UnderSlam(t *testing.T) {
+	spec := registry.ServerSpec{
+		SessionSpec: newSpec("proteins", "levenshtein-fast", "refnet"),
+		Workers:     1, QueueDepth: 1, Shed: "reject",
+	}
+	ts, _ := newTestServerSpec(t, spec, "")
+
+	body := `{"query":"ACDEFGHIKLMNPQRSACDEFGHIKLMNPQRS","eps":8}`
+	var ok, shed atomic.Int64
+	// Requests race a depth-1 queue; retry rounds until at least one is
+	// shed (scheduling may serialise a round on a loaded machine).
+	for round := 0; round < 10 && shed.Load() == 0; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/query/findall", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if ok.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("slam produced %d ok, %d shed; want both > 0", ok.Load(), shed.Load())
+	}
+	var st statsResponse
+	getJSON(t, ts, "/stats", &st)
+	if st.Stream.Shed != shed.Load() {
+		t.Fatalf("/stats shed = %d, clients saw %d", st.Stream.Shed, shed.Load())
+	}
+	if st.Config.Shed != "reject" {
+		t.Fatalf("/stats shed policy = %q", st.Config.Shed)
+	}
+	if st.Stream.Latency.Count == 0 || st.Stream.QueueWait.Count == 0 {
+		t.Fatalf("latency histograms did not move: %+v", st.Stream)
+	}
+}
+
+// -request-timeout turns an unpriceable deadline into a 504: a timeout
+// that has already passed by submission time is dropped before a worker
+// prices it.
+func TestServeRequestTimeout504(t *testing.T) {
+	spec := registry.ServerSpec{
+		SessionSpec: newSpec("proteins", "levenshtein-fast", "refnet"),
+		Workers:     1, QueueDepth: 4, RequestTimeout: time.Nanosecond,
+	}
+	ts, _ := newTestServerSpec(t, spec, "")
+	var er errorResponse
+	if code := postJSON(t, ts, "/query/findall", `{"query":"ACDEFGHIKLMNPQRS","eps":2}`, &er); code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+	if er.Error == "" {
+		t.Fatal("504 with empty error body")
+	}
+}
+
+// A bad shed policy or a snapshot interval without a path is refused at
+// resolution, before anything is built.
+func TestServeSpecValidation(t *testing.T) {
+	base := newSpec("proteins", "levenshtein-fast", "refnet")
+	if _, err := (registry.ServerSpec{SessionSpec: base, Shed: "yolo"}).Resolve(); err == nil {
+		t.Fatal("bad shed policy accepted")
+	}
+	if _, err := (registry.ServerSpec{SessionSpec: base, SnapshotInterval: time.Second}).Resolve(); err == nil {
+		t.Fatal("snapshot interval without a path accepted")
+	}
+	if _, err := (registry.ServerSpec{SessionSpec: base, RequestTimeout: -time.Second}).Resolve(); err == nil {
+		t.Fatal("negative request timeout accepted")
+	}
+}
+
+// -snapshot-interval snapshots in the background: the file appears, the
+// scheduler's health shows on /stats, and the snapshot restores into a
+// server that answers identically.
+func TestServeSnapshotInterval(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "auto.snap")
+	spec := registry.ServerSpec{
+		SessionSpec: newSpec("proteins", "levenshtein-fast", "refnet"),
+		Workers:     2, QueueDepth: 16,
+		SnapshotInterval: 20 * time.Millisecond, SnapshotPath: snap,
+	}
+	ts, _ := newTestServerSpec(t, spec, "")
+
+	deadline := time.Now().Add(5 * time.Second)
+	var st statsResponse
+	for {
+		getJSON(t, ts, "/stats", &st)
+		if st.Snapshots != nil && st.Snapshots.Snapshots >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background snapshot within 5s: %+v", st.Snapshots)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Snapshots.Failures != 0 || st.Snapshots.LastError != "" {
+		t.Fatalf("scheduler reported failures: %+v", st.Snapshots)
+	}
+
+	q := `{"query":"ACDEFGHIKLMNPQRS","eps":4}`
+	var want matchesResponse
+	postJSON(t, ts, "/query/findall", q, &want)
+
+	ts2, qs2 := newTestServerSpec(t, registry.ServerSpec{
+		SessionSpec: spec.SessionSpec, Workers: 2, QueueDepth: 16,
+	}, snap)
+	if !qs2.wasRestored() {
+		t.Fatal("background snapshot did not restore")
+	}
+	var got matchesResponse
+	postJSON(t, ts2, "/query/findall", q, &got)
+	if got.Count != want.Count {
+		t.Fatalf("restored server finds %d matches, original %d", got.Count, want.Count)
+	}
+}
+
+// A corrupt -restore snapshot is quarantined (moved to .corrupt) and the
+// index rebuilt, instead of wedging the start in a crash loop; a
+// mismatched snapshot stays a hard error.
+func TestServeQuarantinesCorruptRestore(t *testing.T) {
+	spec := newSpec("proteins", "levenshtein-fast", "refnet")
+	st, _, err := registry.NewStore[byte](spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "live.snap")
+	if err := st.SnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-8] ^= 0xFF
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts, qs := newTestServerSpec(t, registry.ServerSpec{SessionSpec: spec, Workers: 2, QueueDepth: 16}, snap)
+	if qs.wasRestored() {
+		t.Fatal("corrupt snapshot reported as restored")
+	}
+	if _, err := os.Stat(snap + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in place: %v", err)
+	}
+	// The rebuilt server answers queries.
+	var fa matchesResponse
+	if code := postJSON(t, ts, "/query/findall", `{"query":"ACDEFGHIKLMNPQRS","eps":4}`, &fa); code != http.StatusOK {
+		t.Fatalf("rebuilt server findall status %d", code)
+	}
+	var sr statsResponse
+	getJSON(t, ts, "/stats", &sr)
+	if sr.Store.Restored {
+		t.Fatal("/stats claims restored=true after a quarantined rebuild")
+	}
+}
+
 // TestServeSmokeBinary is the end-to-end smoke: build the real subseqctl
 // binary, start `serve` on a synthetic dataset, issue one query per
 // endpoint over real HTTP, check every JSON shape, then shut the daemon
@@ -635,9 +835,12 @@ func TestSnapshotSmokeBinary(t *testing.T) {
 	}
 	stopServeBinary(t, cmd)
 
-	// Restart from the snapshot: same answers, zero re-indexing work.
+	// Restart from the snapshot: same answers, zero re-indexing work. The
+	// restarted daemon also snapshots in the background (-snapshot-interval).
+	snapAuto := filepath.Join(dir, "auto.snap")
 	cmd2, base2 := startServeBinary(t, bin,
-		append([]string{"-addr", "127.0.0.1:0", "-restore", snapLive, "-snapshot-on-sigterm", snapTerm}, session...)...)
+		append([]string{"-addr", "127.0.0.1:0", "-restore", snapLive, "-snapshot-on-sigterm", snapTerm,
+			"-snapshot-interval", "150ms", "-snapshot-path", snapAuto}, session...)...)
 	defer cmd2.Process.Kill()
 	code, gotAnswer := postRaw(base2, "/query/findall", query)
 	if code != http.StatusOK {
@@ -661,6 +864,17 @@ func TestSnapshotSmokeBinary(t *testing.T) {
 	}
 	if st.DistanceCalls.Build != 0 {
 		t.Fatalf("restored daemon computed %d build distances, want 0 (refnet decodes, never rebuilds)", st.DistanceCalls.Build)
+	}
+	// The background scheduler flag landed a snapshot on its own clock.
+	autoDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if info, err := os.Stat(snapAuto); err == nil && info.Size() > 0 {
+			break
+		}
+		if time.Now().After(autoDeadline) {
+			t.Fatal("-snapshot-interval wrote no snapshot within 10s")
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	stopServeBinary(t, cmd2)
 

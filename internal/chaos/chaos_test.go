@@ -1,0 +1,364 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// harness builds a protein matcher over a fault-wrapped Levenshtein
+// measure, a query set, and the sequential ground truth (computed while
+// the injector is disarmed, so it is exactly the library's answer).
+type harness struct {
+	faults *Faults
+	mt     *core.Matcher[byte]
+	qs     []seq.Sequence[byte]
+	want   [][]core.Match
+}
+
+const chaosEps = 4
+
+// scale shrinks a scenario's round count under -short: the CI chaos-smoke
+// job runs the whole suite with -race on a time budget, so short mode
+// trades repetition (not scenario coverage) for wall clock.
+func scale(n int) int {
+	if testing.Short() {
+		return (n + 1) / 2
+	}
+	return n
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	windows := 300
+	if testing.Short() {
+		windows = 120
+	}
+	ds := data.Proteins(windows, 20, 1)
+	f := &Faults{}
+	// The bit-parallel Levenshtein keeps evaluation cheap so the suite's
+	// wall clock is spent on injected faults, not on pricing.
+	m := WrapMeasure(dist.LevenshteinFastMeasure(), f)
+	mt, err := core.NewMatcher(m, core.Config{
+		Params: core.Params{Lambda: 40, Lambda0: 1},
+	}, ds.Sequences)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]seq.Sequence[byte], 8)
+	for i := range qs {
+		qs[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, uint64(100+i))
+	}
+	return &harness{faults: f, mt: mt, qs: qs, want: mt.FindAllBatch(qs, chaosEps)}
+}
+
+// checkIdentical asserts one completed streaming answer is bit-identical
+// to the sequential path's.
+func (h *harness) checkIdentical(t *testing.T, qi int, got []core.Match) {
+	t.Helper()
+	if len(got) != len(h.want[qi]) {
+		t.Fatalf("query %d: %d matches under chaos, sequential %d", qi, len(got), len(h.want[qi]))
+	}
+	for j := range got {
+		if got[j] != h.want[qi][j] {
+			t.Fatalf("query %d match %d: %v under chaos, sequential %v", qi, j, got[j], h.want[qi][j])
+		}
+	}
+}
+
+// checkAccounting asserts the engine drained and every submission landed
+// in exactly one lifetime counter. Call after Close.
+func checkAccounting(t *testing.T, st core.StreamStats) {
+	t.Helper()
+	if st.InFlight != 0 || st.Pending != 0 {
+		t.Fatalf("engine not drained: %+v", st)
+	}
+	if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
+		t.Fatalf("submission accounting leaks: %+v", st)
+	}
+}
+
+type tagged struct {
+	qi int
+	f  *core.Future[[]core.Match]
+}
+
+// Workers killed mid-claim: injected evaluator panics must become typed
+// ErrWorkerCrashed failures on exactly the claimed futures — never a dead
+// worker, a leaked slot, or a wrong answer — and the pool keeps serving
+// correct results afterwards.
+func TestChaosWorkerKillMidClaim(t *testing.T) {
+	h := newHarness(t)
+	pool := core.NewQueryPool(h.mt, 3)
+	h.faults.SetPanic(400)
+	h.faults.Arm()
+	ctx := context.Background()
+	var futures []tagged
+	for r := 0; r < scale(8); r++ {
+		for qi := range h.qs {
+			futures = append(futures, tagged{qi, pool.Submit(ctx, h.qs[qi], chaosEps)})
+		}
+	}
+	var crashed int
+	for _, tf := range futures {
+		ms, err := tf.f.Await(ctx)
+		switch {
+		case err == nil:
+			h.checkIdentical(t, tf.qi, ms)
+		case errors.Is(err, core.ErrWorkerCrashed):
+			crashed++
+		default:
+			t.Fatalf("query %d resolved to %v, want result or ErrWorkerCrashed", tf.qi, err)
+		}
+	}
+	if h.faults.Panics() == 0 {
+		t.Fatal("no panic fired; lower the panic interval")
+	}
+	if crashed == 0 {
+		t.Fatal("panics fired but no future reported ErrWorkerCrashed")
+	}
+	// Self-healing: with faults off, the same pool answers every query
+	// bit-identically — the workers survived their kills.
+	h.faults.Disarm()
+	for qi, q := range h.qs {
+		ms, err := pool.Submit(ctx, q, chaosEps).Await(ctx)
+		if err != nil {
+			t.Fatalf("post-chaos query %d failed: %v", qi, err)
+		}
+		h.checkIdentical(t, qi, ms)
+	}
+	pool.Close()
+	st := pool.StreamStats()
+	if st.Crashed == 0 {
+		t.Fatalf("stats show no crashes: %+v", st)
+	}
+	checkAccounting(t, st)
+}
+
+// Evaluator stalls against deadlines: slow distance evaluation pushes
+// queue wait past tight submission deadlines. Expired submissions must
+// fail typed (ErrDeadlineExceeded) without being priced; unexpired ones
+// complete bit-identically.
+func TestChaosEvaluatorStall(t *testing.T) {
+	h := newHarness(t)
+	pool := core.NewQueryPool(h.mt, 2)
+	h.faults.SetStall(400, time.Millisecond)
+	h.faults.Arm()
+	ctx := context.Background()
+	var futures []tagged
+	var patient []tagged
+	for r := 0; r < scale(4); r++ {
+		for qi := range h.qs {
+			// Alternate tight-deadline and patient traffic.
+			if (r+qi)%2 == 0 {
+				futures = append(futures, tagged{qi, pool.Submit(ctx, h.qs[qi], chaosEps,
+					core.WithSubmitTimeout(5*time.Millisecond))})
+			} else {
+				patient = append(patient, tagged{qi, pool.Submit(ctx, h.qs[qi], chaosEps)})
+			}
+		}
+	}
+	var expired, completed int
+	for _, tf := range futures {
+		ms, err := tf.f.Await(ctx)
+		switch {
+		case err == nil:
+			completed++
+			h.checkIdentical(t, tf.qi, ms)
+		case errors.Is(err, core.ErrDeadlineExceeded):
+			expired++
+		default:
+			t.Fatalf("deadline query %d resolved to %v, want result or ErrDeadlineExceeded", tf.qi, err)
+		}
+	}
+	for _, tf := range patient {
+		ms, err := tf.f.Await(ctx)
+		if err != nil {
+			t.Fatalf("patient query %d failed under stalls: %v", tf.qi, err)
+		}
+		h.checkIdentical(t, tf.qi, ms)
+	}
+	if h.faults.Stalls() == 0 {
+		t.Fatal("no stall fired; lower the stall interval")
+	}
+	pool.Close()
+	st := pool.StreamStats()
+	if int(st.Expired) != expired || expired+completed != len(futures) {
+		t.Fatalf("deadline accounting: %d expired + %d completed of %d, stats %+v",
+			expired, completed, len(futures), st)
+	}
+	checkAccounting(t, st)
+}
+
+// Queue slammed past depth: under ShedRejectNewest with a tiny budget and
+// stalled workers, overflow must shed typed and immediately (ErrQueueFull)
+// while every admitted submission still completes bit-identically.
+func TestChaosQueueSlam(t *testing.T) {
+	h := newHarness(t)
+	pool := core.NewQueryPool(h.mt, 2,
+		core.WithQueueDepth(4), core.WithShedPolicy(core.ShedRejectNewest))
+	h.faults.SetStall(1000, time.Millisecond)
+	h.faults.Arm()
+	var wg sync.WaitGroup
+	var shed, completed, bad atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < scale(8); i++ {
+				qi := (g + i) % len(h.qs)
+				ms, err := pool.Submit(ctx, h.qs[qi], chaosEps).Await(ctx)
+				switch {
+				case err == nil:
+					completed.Add(1)
+					if len(ms) != len(h.want[qi]) {
+						bad.Add(1)
+					}
+				case errors.Is(err, core.ErrQueueFull):
+					shed.Add(1)
+				default:
+					bad.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d wrong results or unexpected errors under slam", bad.Load())
+	}
+	if shed.Load() == 0 {
+		t.Fatal("queue slam shed nothing; the engine is not saturating")
+	}
+	if completed.Load() == 0 {
+		t.Fatal("queue slam completed nothing; the engine seized")
+	}
+	pool.Close()
+	st := pool.StreamStats()
+	if st.Shed != shed.Load() {
+		t.Fatalf("stats count %d shed, callers saw %d", st.Shed, shed.Load())
+	}
+	checkAccounting(t, st)
+}
+
+// Cancellation storm: contexts die at random moments — before admission,
+// while queued, while running. Every future must still resolve (result or
+// context.Canceled), and the engine drains to zero.
+func TestChaosCancelStorm(t *testing.T) {
+	h := newHarness(t)
+	pool := core.NewQueryPool(h.mt, 3, core.WithQueueDepth(16))
+	h.faults.SetStall(800, 500*time.Microsecond)
+	h.faults.Arm()
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), uint64(g*37)))
+			for i := 0; i < scale(8); i++ {
+				qi := (g + i) % len(h.qs)
+				ctx, cancel := context.WithCancel(context.Background())
+				f := pool.Submit(ctx, h.qs[qi], chaosEps)
+				switch rng.IntN(3) {
+				case 0:
+					cancel() // racing admission and the claim
+				case 1:
+					time.Sleep(time.Duration(rng.IntN(1000)) * time.Microsecond)
+					cancel() // racing the run
+				}
+				ms, err := f.Await(context.Background())
+				if err == nil {
+					if len(ms) != len(h.want[qi]) {
+						bad.Add(1)
+					}
+				} else if !errors.Is(err, context.Canceled) {
+					bad.Add(1)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d wrong results or unexpected errors under cancel storm", bad.Load())
+	}
+	pool.Close()
+	checkAccounting(t, pool.StreamStats())
+}
+
+// Everything at once: kills, stalls, tight deadlines, saturation under
+// fair-share shedding, and cancellations, from many tenants concurrently.
+// The engine must resolve every future with a typed outcome, keep
+// completed answers bit-identical, and drain clean.
+func TestChaosEverything(t *testing.T) {
+	h := newHarness(t)
+	pool := core.NewQueryPool(h.mt, 3,
+		core.WithQueueDepth(8), core.WithShedPolicy(core.ShedFairShare))
+	h.faults.SetStall(150, time.Millisecond)
+	h.faults.SetPanic(900)
+	h.faults.Arm()
+	tenants := []string{"alpha", "beta", "gamma"}
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for g := 0; g < 9; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g+1), uint64(g*53)))
+			tenant := tenants[g%len(tenants)]
+			for i := 0; i < scale(16); i++ {
+				qi := (g + i) % len(h.qs)
+				ctx, cancel := context.WithCancel(context.Background())
+				opts := []core.SubmitOption{core.WithTenant(tenant)}
+				if rng.IntN(3) == 0 {
+					opts = append(opts, core.WithSubmitTimeout(
+						time.Duration(1+rng.IntN(20))*time.Millisecond))
+				}
+				f := pool.Submit(ctx, h.qs[qi], chaosEps, opts...)
+				if rng.IntN(4) == 0 {
+					cancel()
+				}
+				ms, err := f.Await(context.Background())
+				switch {
+				case err == nil:
+					if len(ms) != len(h.want[qi]) {
+						bad.Add(1)
+					}
+				case errors.Is(err, core.ErrQueueFull),
+					errors.Is(err, core.ErrDeadlineExceeded),
+					errors.Is(err, core.ErrWorkerCrashed),
+					errors.Is(err, context.Canceled):
+				default:
+					bad.Add(1)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d wrong results or untyped errors under combined chaos", bad.Load())
+	}
+	// The pool is still alive and correct after the storm.
+	h.faults.Disarm()
+	ctx := context.Background()
+	for qi, q := range h.qs {
+		ms, err := pool.Submit(ctx, q, chaosEps).Await(ctx)
+		if err != nil {
+			t.Fatalf("post-chaos query %d failed: %v", qi, err)
+		}
+		h.checkIdentical(t, qi, ms)
+	}
+	pool.Close()
+	checkAccounting(t, pool.StreamStats())
+}

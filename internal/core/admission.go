@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Admission control for the streaming engine (stream.go). The original
+// backpressure story was a single hard rule — block at queueDepth — which
+// protects memory but gives an overloaded deployment no way to say "no"
+// usefully: every client waits, tail latency explodes uniformly, and one
+// flooding tenant starves everyone. This file adds the policy layer in
+// front of the queue:
+//
+//   - typed saturation errors (ErrQueueFull, ErrDeadlineExceeded) a server
+//     can map onto HTTP 429/503/504 instead of opaque failures;
+//   - per-submission deadlines, priorities and tenant labels (SubmitOption);
+//   - a pluggable shed policy (WithShedPolicy): keep blocking, reject the
+//     newest arrival, or evict the hoggiest tenant's newest queued work so
+//     light tenants keep flowing through a flood.
+//
+// Expired submissions are additionally dropped *before* a worker prices
+// them (stream.go), under every policy: work nobody is waiting for any
+// more never reaches the index.
+
+// ErrQueueFull is returned by futures whose submission was shed because
+// the engine's in-flight budget (WithQueueDepth) was exhausted under a
+// rejecting shed policy. It maps to HTTP 429 in subseqctl serve; clients
+// should retry with backoff (see docs/SERVING.md).
+var ErrQueueFull = errors.New("core: query queue full")
+
+// ErrDeadlineExceeded is returned by futures whose submission's deadline
+// (WithSubmitDeadline/WithSubmitTimeout) passed before a worker ran the
+// query — at submission, while queued, or while blocked for a slot. It
+// maps to HTTP 504 in subseqctl serve.
+var ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
+
+// ErrWorkerCrashed is wrapped by futures whose claim panicked mid-answer
+// (for example a distance evaluator fault). The worker recovers, fails
+// the claim's futures with this error and keeps serving — one poisoned
+// query cannot take the pool down. It maps to HTTP 500.
+var ErrWorkerCrashed = errors.New("core: worker crashed answering this query")
+
+// ShedPolicy selects what Submit does when the engine is at queueDepth.
+type ShedPolicy int
+
+const (
+	// ShedBlock (the default) blocks the submitting goroutine until a
+	// slot frees, honouring the submission's context and deadline — the
+	// classic backpressure shape, right when callers are few and patient.
+	ShedBlock ShedPolicy = iota
+	// ShedRejectNewest fails the arriving submission immediately with
+	// ErrQueueFull — the serving shape: the caller gets a fast, typed
+	// "try again later" instead of an unbounded wait.
+	ShedRejectNewest
+	// ShedFairShare is ShedRejectNewest with per-tenant fairness: when
+	// the queue is full, an arrival from a lightly loaded tenant evicts
+	// the newest *queued* submission of the most loaded tenant (which
+	// fails with ErrQueueFull) instead of being rejected itself. A tenant
+	// flooding the queue sheds its own tail; tenants within their fair
+	// share keep flowing. Submissions carry tenants via WithTenant;
+	// untagged submissions share the "" tenant.
+	ShedFairShare
+)
+
+// String names the policy ("block", "reject", "fair").
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedBlock:
+		return "block"
+	case ShedRejectNewest:
+		return "reject"
+	case ShedFairShare:
+		return "fair"
+	default:
+		return fmt.Sprintf("ShedPolicy(%d)", int(p))
+	}
+}
+
+// ParseShedPolicy resolves a policy name; it accepts the String names
+// plus common synonyms ("reject-newest", "fair-share"). The empty string
+// selects ShedBlock.
+func ParseShedPolicy(name string) (ShedPolicy, error) {
+	switch strings.ToLower(name) {
+	case "", "block":
+		return ShedBlock, nil
+	case "reject", "reject-newest":
+		return ShedRejectNewest, nil
+	case "fair", "fair-share", "fairshare":
+		return ShedFairShare, nil
+	default:
+		return 0, fmt.Errorf("core: unknown shed policy %q (want block, reject or fair)", name)
+	}
+}
+
+// WithShedPolicy selects the streaming engine's behaviour at queue
+// saturation (default ShedBlock).
+func WithShedPolicy(p ShedPolicy) PoolOption {
+	return func(c *poolConfig) { c.shedPolicy = p }
+}
+
+// SubmitOption attaches per-submission serving metadata — deadline,
+// priority, tenant — to one Submit* call.
+type SubmitOption func(*submitConfig)
+
+type submitConfig struct {
+	deadline time.Time
+	priority int
+	tenant   string
+}
+
+// WithSubmitDeadline gives the submission an absolute deadline: if no
+// worker has started it by then, its future fails with
+// ErrDeadlineExceeded and the query is never priced — expired work is
+// dropped at the queue, not computed and discarded. (A started query runs
+// to completion; index traversals are not preemptible.)
+func WithSubmitDeadline(t time.Time) SubmitOption {
+	return func(c *submitConfig) { c.deadline = t }
+}
+
+// WithSubmitTimeout is WithSubmitDeadline relative to now.
+func WithSubmitTimeout(d time.Duration) SubmitOption {
+	return func(c *submitConfig) { c.deadline = time.Now().Add(d) }
+}
+
+// WithPriority biases claiming: among pending submissions, workers seed
+// their claims from the highest-priority one (ties resolve in arrival
+// order; the default priority is 0, negative deprioritises). Priority
+// affects scheduling only — never admission or eviction.
+func WithPriority(p int) SubmitOption {
+	return func(c *submitConfig) { c.priority = p }
+}
+
+// WithTenant labels the submission for per-tenant accounting and the
+// ShedFairShare policy.
+func WithTenant(id string) SubmitOption {
+	return func(c *submitConfig) { c.tenant = id }
+}
+
+// admit acquires an in-flight slot for j according to the pool's shed
+// policy, maintaining per-tenant load accounting. On success the job
+// holds one slot token (and one tenant count if labelled), released by
+// finish. The error is the typed admission outcome; the caller maps it
+// onto the stats counters.
+func (p *QueryPool[E]) admit(j *streamJob[E]) error {
+	s := &p.streaming
+	switch p.shedPolicy {
+	case ShedRejectNewest:
+		select {
+		case s.slots <- struct{}{}:
+			s.addTenant(j)
+			return nil
+		default:
+			return ErrQueueFull
+		}
+	case ShedFairShare:
+		select {
+		case s.slots <- struct{}{}:
+			s.addTenant(j)
+			return nil
+		default:
+			return s.evictForFairShare(j)
+		}
+	default: // ShedBlock
+		var deadlineCh <-chan time.Time
+		if !j.deadline.IsZero() {
+			t := time.NewTimer(time.Until(j.deadline))
+			defer t.Stop()
+			deadlineCh = t.C
+		}
+		select {
+		case s.slots <- struct{}{}:
+			s.addTenant(j)
+			return nil
+		case <-j.ctx.Done():
+			return j.ctx.Err()
+		case <-deadlineCh:
+			return ErrDeadlineExceeded
+		}
+	}
+}
+
+// addTenant counts one in-flight submission against j's tenant.
+func (s *streamState[E]) addTenant(j *streamJob[E]) {
+	if j.tenant == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.tenantLoad == nil {
+		s.tenantLoad = make(map[string]int)
+	}
+	s.tenantLoad[j.tenant]++
+	s.mu.Unlock()
+}
+
+// dropTenant releases j's tenant count.
+func (s *streamState[E]) dropTenant(j *streamJob[E]) {
+	if j.tenant == "" {
+		return
+	}
+	s.mu.Lock()
+	if n := s.tenantLoad[j.tenant] - 1; n > 0 {
+		s.tenantLoad[j.tenant] = n
+	} else {
+		delete(s.tenantLoad, j.tenant)
+	}
+	s.mu.Unlock()
+}
+
+// evictForFairShare implements ShedFairShare at saturation: scan the
+// *queued* (not yet claimed) submissions for the one whose tenant carries
+// the highest in-flight load; if that tenant is strictly more loaded than
+// j's, evict it (its future fails with ErrQueueFull) and hand its slot to
+// j. Otherwise j's tenant is itself the heaviest — j is shed, which is
+// exactly reject-newest within a tenant. Running claims are never
+// preempted; only queued work is evictable.
+func (s *streamState[E]) evictForFairShare(j *streamJob[E]) error {
+	s.mu.Lock()
+	victimIdx := -1
+	victimLoad := s.tenantLoad[j.tenant] // beat this to justify eviction
+	for i, q := range s.queue {
+		if q.tenant == j.tenant {
+			continue
+		}
+		// >= so later (newer) submissions win ties within the same
+		// tenant: the newest job of the heaviest tenant is the victim.
+		if l := s.tenantLoad[q.tenant]; l > victimLoad || (victimIdx >= 0 && l >= victimLoad) {
+			victimIdx, victimLoad = i, l
+		}
+	}
+	if victimIdx < 0 {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	victim := s.queue[victimIdx]
+	s.queue = append(s.queue[:victimIdx], s.queue[victimIdx+1:]...)
+	// Transfer the victim's slot to j: the token stays in the channel,
+	// only the accounting moves.
+	if s.tenantLoad == nil {
+		s.tenantLoad = make(map[string]int)
+	}
+	if n := s.tenantLoad[victim.tenant] - 1; n > 0 {
+		s.tenantLoad[victim.tenant] = n
+	} else {
+		delete(s.tenantLoad, victim.tenant)
+	}
+	if j.tenant != "" {
+		s.tenantLoad[j.tenant]++
+	}
+	s.mu.Unlock()
+	s.shed.Add(1)
+	victim.fail(ErrQueueFull)
+	return nil
+}
+
+// finish releases j's admission state: the in-flight slot and the tenant
+// count. Called exactly once per admitted job, after its future resolves.
+func (s *streamState[E]) finish(j *streamJob[E]) {
+	<-s.slots
+	s.dropTenant(j)
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/seq"
+)
+
+// gatedPool builds a matcher whose distance evaluation can be stalled, plus
+// a single-worker pool over it. The gate starts disarmed so index
+// construction runs at full speed; arm it (store a channel) to make every
+// subsequent evaluation block until the channel closes — a deterministic
+// way to wedge the worker and fill the queue. Prepare/Bounded are stripped
+// so all evaluation flows through the gated Fn.
+func gatedPool(t *testing.T, seed uint64, opts ...PoolOption) (*QueryPool[byte], *atomic.Pointer[chan struct{}], []seq.Sequence[byte]) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed*100))
+	db, qs := batchQueries(rng, 6)
+	m := dist.LevenshteinMeasure[byte]()
+	inner := m.Fn
+	var gate atomic.Pointer[chan struct{}]
+	m.Fn = func(a, b []byte) float64 {
+		if ch := gate.Load(); ch != nil {
+			<-*ch
+		}
+		return inner(a, b)
+	}
+	m.Prepare = nil
+	m.Bounded = nil
+	mt, err := NewMatcher(m, Config{Params: Params{Lambda: 6, Lambda0: 1}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewQueryPool(mt, 1, opts...)
+	return pool, &gate, qs
+}
+
+// armGate wedges all evaluation; the returned func unblocks it.
+func armGate(gate *atomic.Pointer[chan struct{}]) func() {
+	ch := make(chan struct{})
+	gate.Store(&ch)
+	return func() {
+		gate.Store(nil)
+		close(ch)
+	}
+}
+
+// waitPending polls until the stream queue holds exactly n jobs (i.e. the
+// worker has claimed everything earlier).
+func waitPending(t *testing.T, pool *QueryPool[byte], n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.StreamStats().Pending != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d pending: %+v", n, pool.StreamStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestParseShedPolicy(t *testing.T) {
+	for name, want := range map[string]ShedPolicy{
+		"": ShedBlock, "block": ShedBlock,
+		"reject": ShedRejectNewest, "Reject-Newest": ShedRejectNewest,
+		"fair": ShedFairShare, "fair-share": ShedFairShare,
+	} {
+		got, err := ParseShedPolicy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseShedPolicy(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+		if rt, err := ParseShedPolicy(got.String()); err != nil || rt != got {
+			t.Fatalf("round trip %v → %q → (%v, %v)", got, got.String(), rt, err)
+		}
+	}
+	if _, err := ParseShedPolicy("nope"); err == nil {
+		t.Fatal("ParseShedPolicy accepted garbage")
+	}
+}
+
+// A submission whose deadline has already passed fails immediately with
+// ErrDeadlineExceeded — before touching the queue or the index.
+func TestSubmitDeadlinePreExpired(t *testing.T) {
+	pool, _, qs := gatedPool(t, 61)
+	defer pool.Close()
+	ctx := context.Background()
+	f := pool.Submit(ctx, qs[0], 0.5, WithSubmitDeadline(time.Now().Add(-time.Second)))
+	if _, err := f.Await(ctx); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("pre-expired submit resolved to %v, want ErrDeadlineExceeded", err)
+	}
+	st := pool.StreamStats()
+	if st.Expired != 1 || st.Completed != 0 {
+		t.Fatalf("stats after pre-expired submit: %+v", st)
+	}
+}
+
+// A submission whose deadline passes while queued is dropped by the worker
+// before being priced: its future fails with ErrDeadlineExceeded and it
+// counts as Expired, not Completed.
+func TestSubmitDeadlineExpiresInQueue(t *testing.T) {
+	pool, gate, qs := gatedPool(t, 67)
+	defer pool.Close()
+	ctx := context.Background()
+	release := armGate(gate)
+	blocker := pool.Submit(ctx, qs[0], 0.5)
+	waitPending(t, pool, 0) // worker claimed the blocker and is wedged
+	doomed := pool.Submit(ctx, qs[1], 0.5, WithSubmitTimeout(20*time.Millisecond))
+	time.Sleep(60 * time.Millisecond) // let the deadline lapse while queued
+	release()
+	if _, err := blocker.Await(ctx); err != nil {
+		t.Fatalf("blocker failed: %v", err)
+	}
+	if _, err := doomed.Await(ctx); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued-past-deadline submit resolved to %v, want ErrDeadlineExceeded", err)
+	}
+	st := pool.StreamStats()
+	if st.Expired != 1 || st.Completed != 1 {
+		t.Fatalf("stats: %+v, want Expired=1 Completed=1", st)
+	}
+}
+
+// Under ShedBlock a blocked submitter's deadline still fires: the slot wait
+// itself is deadline-aware.
+func TestShedBlockDeadlineWhileBlocked(t *testing.T) {
+	pool, gate, qs := gatedPool(t, 71, WithQueueDepth(1))
+	defer pool.Close()
+	ctx := context.Background()
+	release := armGate(gate)
+	blocker := pool.Submit(ctx, qs[0], 0.5) // holds the only slot
+	start := time.Now()
+	f := pool.Submit(ctx, qs[1], 0.5, WithSubmitTimeout(30*time.Millisecond))
+	if _, err := f.Await(ctx); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("blocked submit resolved to %v, want ErrDeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("blocked submit took %v to fail, deadline was 30ms", waited)
+	}
+	release()
+	if _, err := blocker.Await(ctx); err != nil {
+		t.Fatalf("blocker failed: %v", err)
+	}
+	if st := pool.StreamStats(); st.Expired != 1 {
+		t.Fatalf("stats: %+v, want Expired=1", st)
+	}
+}
+
+// ShedRejectNewest turns saturation into an immediate typed ErrQueueFull
+// instead of blocking the submitter.
+func TestShedRejectNewest(t *testing.T) {
+	pool, gate, qs := gatedPool(t, 73, WithQueueDepth(2), WithShedPolicy(ShedRejectNewest))
+	defer pool.Close()
+	ctx := context.Background()
+	release := armGate(gate)
+	a := pool.Submit(ctx, qs[0], 0.5)
+	b := pool.Submit(ctx, qs[1], 0.5)
+	c := pool.Submit(ctx, qs[2], 0.5) // both slots held: shed
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("shed submission did not resolve immediately")
+	}
+	if _, err := c.Await(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated submit resolved to %v, want ErrQueueFull", err)
+	}
+	release()
+	for i, f := range []*Future[[]Match]{a, b} {
+		if _, err := f.Await(ctx); err != nil {
+			t.Fatalf("admitted submission %d failed: %v", i, err)
+		}
+	}
+	st := pool.StreamStats()
+	if st.Shed != 1 || st.Completed != 2 {
+		t.Fatalf("stats: %+v, want Shed=1 Completed=2", st)
+	}
+	if st.ShedPolicy != "reject" {
+		t.Fatalf("stats echo policy %q, want reject", st.ShedPolicy)
+	}
+}
+
+// ShedFairShare keeps a light tenant flowing through a heavy tenant's
+// flood: at saturation the heavy tenant's newest queued submission is
+// evicted in the newcomer's favour, while within one tenant saturation
+// stays reject-newest.
+func TestShedFairShare(t *testing.T) {
+	pool, gate, qs := gatedPool(t, 79, WithQueueDepth(3), WithShedPolicy(ShedFairShare))
+	defer pool.Close()
+	ctx := context.Background()
+	release := armGate(gate)
+	hogRun := pool.Submit(ctx, qs[0], 0.5, WithTenant("hog"))
+	waitPending(t, pool, 0) // claimed: the hog occupies the worker
+	hog1 := pool.Submit(ctx, qs[1], 0.5, WithTenant("hog"))
+	hog2 := pool.Submit(ctx, qs[2], 0.5, WithTenant("hog"))
+	// Queue full (3 slots: running hog + 2 queued hogs). A light tenant's
+	// arrival evicts the hog's newest queued job, not itself.
+	mouse := pool.Submit(ctx, qs[3], 0.5, WithTenant("mouse"))
+	if _, err := hog2.Await(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("heavy tenant's newest resolved to %v, want ErrQueueFull (evicted)", err)
+	}
+	select {
+	case <-mouse.Done():
+		_, err := mouse.Await(ctx)
+		t.Fatalf("light tenant's submission resolved early: %v", err)
+	default:
+	}
+	// hog1 (tenant load 2: running + queued) still outweighs the mice, so
+	// a second mouse evicts it too rather than being shed itself.
+	mouse2 := pool.Submit(ctx, qs[4], 0.5, WithTenant("mouse"))
+	if _, err := hog1.Await(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("hog1 resolved to %v, want ErrQueueFull (evicted by mouse2)", err)
+	}
+	select {
+	case <-mouse2.Done():
+		_, err := mouse2.Await(ctx)
+		t.Fatalf("second mouse resolved early: %v", err)
+	default:
+	}
+	// Now the queue is all mice; a third mouse is shed itself.
+	mouse3 := pool.Submit(ctx, qs[5], 0.5, WithTenant("mouse"))
+	if _, err := mouse3.Await(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("mouse3 resolved to %v, want ErrQueueFull (own tenant is heaviest)", err)
+	}
+	release()
+	if _, err := hogRun.Await(ctx); err != nil {
+		t.Fatalf("running hog failed: %v", err)
+	}
+	for _, f := range []*Future[[]Match]{mouse, mouse2} {
+		if _, err := f.Await(ctx); err != nil {
+			t.Fatalf("admitted mouse failed: %v", err)
+		}
+	}
+	st := pool.StreamStats()
+	if st.Shed != 3 || st.Completed != 3 {
+		t.Fatalf("stats: %+v, want Shed=3 Completed=3", st)
+	}
+	if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
+		t.Fatalf("submission accounting leaks: %+v", st)
+	}
+}
+
+// Worker claims seed from the highest-priority pending job; arrival order
+// breaks ties, so default-priority traffic is untouched.
+func TestClaimPrioritySeed(t *testing.T) {
+	mk := func(eps float64, prio int) *streamJob[byte] {
+		return &streamJob[byte]{kind: kindFindAll, eps: eps, priority: prio, ctx: context.Background()}
+	}
+	var s streamState[byte]
+	lo1, lo2 := mk(2, 0), mk(2, 0)
+	hi1, hi2 := mk(3, 5), mk(3, 5)
+	s.queue = []*streamJob[byte]{lo1, hi1, lo2, hi2}
+	claimed := s.claimLocked(1, 64, nil)
+	if len(claimed) != 2 || claimed[0] != hi1 || claimed[1] != hi2 {
+		t.Fatalf("claim = %v, want [hi1 hi2] (priority seeds, oldest tie-break)", claimed)
+	}
+	if len(s.queue) != 2 || s.queue[0] != lo1 || s.queue[1] != lo2 {
+		t.Fatalf("left behind %v, want [lo1 lo2] in order", s.queue)
+	}
+	// All-default priorities claim strictly in arrival order (seed = head).
+	s.queue = []*streamJob[byte]{lo1, lo2}
+	claimed = s.claimLocked(1, 64, nil)
+	if claimed[0] != lo1 {
+		t.Fatal("default-priority claim did not seed from the head")
+	}
+}
+
+// A worker panic mid-claim (a poisoned query) must not take the pool down:
+// the claim's futures fail with ErrWorkerCrashed, the accounting moves to
+// Crashed, and the pool keeps answering later submissions correctly.
+func TestWorkerPanicSelfHeals(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 8300))
+	db, qs := batchQueries(rng, 4)
+	m := dist.LevenshteinMeasure[byte]()
+	inner := m.Fn
+	var bomb atomic.Bool
+	m.Fn = func(a, b []byte) float64 {
+		if bomb.Load() {
+			panic("injected evaluator fault")
+		}
+		return inner(a, b)
+	}
+	m.Prepare = nil
+	m.Bounded = nil
+	mt, err := NewMatcher(m, Config{Params: Params{Lambda: 6, Lambda0: 1}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mt.FindAllBatch(qs, 0.5)
+	pool := NewQueryPool(mt, 2)
+	defer pool.Close()
+	ctx := context.Background()
+
+	bomb.Store(true)
+	f := pool.Submit(ctx, qs[0], 0.5)
+	if _, err := f.Await(ctx); !errors.Is(err, ErrWorkerCrashed) {
+		t.Fatalf("poisoned submission resolved to %v, want ErrWorkerCrashed", err)
+	}
+	bomb.Store(false)
+	// The pool survived: the same query now answers bit-identically.
+	for i, q := range qs {
+		ms, err := pool.Submit(ctx, q, 0.5).Await(ctx)
+		if err != nil {
+			t.Fatalf("post-crash submission %d failed: %v", i, err)
+		}
+		if len(ms) != len(want[i]) {
+			t.Fatalf("post-crash query %d: %d matches, want %d", i, len(ms), len(want[i]))
+		}
+		for j := range ms {
+			if ms[j] != want[i][j] {
+				t.Fatalf("post-crash query %d match %d: %v, want %v", i, j, ms[j], want[i][j])
+			}
+		}
+	}
+	st := pool.StreamStats()
+	if st.Crashed != 1 {
+		t.Fatalf("stats: %+v, want Crashed=1", st)
+	}
+	if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
+		t.Fatalf("submission accounting leaks: %+v", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("crashed claim leaked slots: %+v", st)
+	}
+}
+
+// The latency histograms populate: every completed submission lands in
+// both distributions, quantiles are sane, and an untouched pool reports
+// empty histograms without starting workers.
+func TestStreamLatencyHistograms(t *testing.T) {
+	pool, _, qs := gatedPool(t, 89)
+	defer pool.Close()
+	if st := pool.StreamStats(); st.Latency.Count != 0 || st.QueueWait.Count != 0 {
+		t.Fatalf("idle pool shows latency observations: %+v", st)
+	}
+	ctx := context.Background()
+	const n = 24
+	futures := make([]*Future[[]Match], 0, n)
+	for i := 0; i < n; i++ {
+		futures = append(futures, pool.Submit(ctx, qs[i%len(qs)], 0.5))
+	}
+	for _, f := range futures {
+		if _, err := f.Await(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.StreamStats()
+	if st.Latency.Count != n || st.QueueWait.Count != n {
+		t.Fatalf("histogram counts (%d, %d), want (%d, %d)", st.Latency.Count, st.QueueWait.Count, n, n)
+	}
+	l := st.Latency
+	if l.MeanMillis <= 0 || l.MaxMillis < l.P99Millis/2 || l.P50Millis > l.P99Millis {
+		t.Fatalf("implausible latency summary: %+v", l)
+	}
+	var bucketSum int64
+	for _, b := range l.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != n {
+		t.Fatalf("buckets sum to %d, want %d", bucketSum, n)
+	}
+}
+
+// The latency histogram itself: bucket placement, quantile interpolation
+// bounds, and concurrent observation safety.
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 90; i++ {
+		h.observe(1 * time.Millisecond) // ≤ 1ms bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(40 * time.Millisecond) // (20ms, 50ms] bucket
+	}
+	st := h.snapshot()
+	if st.Count != 100 {
+		t.Fatalf("count %d, want 100", st.Count)
+	}
+	if st.P50Millis > 1.0 {
+		t.Fatalf("p50 %.3fms, want ≤ 1ms", st.P50Millis)
+	}
+	if st.P99Millis <= 20 || st.P99Millis > 50 {
+		t.Fatalf("p99 %.3fms, want in (20, 50]", st.P99Millis)
+	}
+	if st.MaxMillis != 40 {
+		t.Fatalf("max %.3fms, want 40", st.MaxMillis)
+	}
+	// Concurrent observes do not race (run under -race in CI).
+	var h2 latencyHist
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h2.observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h2.snapshot().Count; got != 4000 {
+		t.Fatalf("concurrent count %d, want 4000", got)
+	}
+}
+
+// Close racing Submit on every backend: each future must resolve (result
+// or ErrPoolClosed), nothing deadlocks, and accounting balances. Runs
+// under -race in CI.
+func TestStreamCloseSubmitRaceAllBackends(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(97, 9700))
+	db, qs := batchQueries(rng, 4)
+	for _, kind := range []IndexKind{IndexRefNet, IndexCoverTree, IndexMV, IndexLinearScan} {
+		mt, err := NewMatcher(lev, Config{Params: p, Index: kind, MVRefs: 3}, db)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		pool := NewQueryPool(mt, 2, WithQueueDepth(8), WithShedPolicy(ShedRejectNewest))
+		var wg sync.WaitGroup
+		futures := make(chan *Future[[]Match], 256)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ctx := context.Background()
+				for i := 0; i < 32; i++ {
+					futures <- pool.Submit(ctx, qs[(g+i)%len(qs)], 0.5)
+				}
+			}(g)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			pool.Close() // races the submitters
+		}()
+		wg.Wait()
+		close(futures)
+		<-done
+		ctx := context.Background()
+		for f := range futures {
+			if _, err := f.Await(ctx); err != nil &&
+				!errors.Is(err, ErrPoolClosed) && !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("%v: future resolved to %v, want result, ErrPoolClosed or ErrQueueFull", kind, err)
+			}
+		}
+		st := pool.StreamStats()
+		if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
+			t.Fatalf("%v: submission accounting leaks: %+v", kind, st)
+		}
+		if st.InFlight != 0 || st.Pending != 0 {
+			t.Fatalf("%v: engine not drained: %+v", kind, st)
+		}
+	}
+}
+
+// Context cancellation racing the worker's claim on every backend: cancel
+// fires while jobs sit queued and while they run; every future resolves,
+// nothing leaks. Runs under -race in CI.
+func TestStreamCancelDuringClaimAllBackends(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(101, 10100))
+	db, qs := batchQueries(rng, 4)
+	for _, kind := range []IndexKind{IndexRefNet, IndexCoverTree, IndexMV, IndexLinearScan} {
+		mt, err := NewMatcher(lev, Config{Params: p, Index: kind, MVRefs: 3}, db)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		pool := NewQueryPool(mt, 2, WithQueueDepth(8))
+		var wg sync.WaitGroup
+		var unresolved atomic.Int64
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 24; i++ {
+					ctx, cancel := context.WithCancel(context.Background())
+					f := pool.Submit(ctx, qs[(g+i)%len(qs)], 0.5)
+					if i%3 != 0 {
+						cancel() // racing the claim
+					}
+					if _, err := f.Await(context.Background()); err != nil && !errors.Is(err, context.Canceled) {
+						unresolved.Add(1)
+					}
+					cancel()
+				}
+			}(g)
+		}
+		wg.Wait()
+		if unresolved.Load() != 0 {
+			t.Fatalf("%v: %d futures resolved to unexpected errors", kind, unresolved.Load())
+		}
+		pool.Close()
+		st := pool.StreamStats()
+		if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
+			t.Fatalf("%v: submission accounting leaks: %+v", kind, st)
+		}
+		if st.InFlight != 0 || st.Pending != 0 {
+			t.Fatalf("%v: engine not drained: %+v", kind, st)
+		}
+	}
+}

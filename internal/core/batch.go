@@ -182,6 +182,7 @@ type QueryPool[E any] struct {
 	workers     int
 	queueDepth  int
 	maxCoalesce int
+	shedPolicy  ShedPolicy
 
 	// streaming is the lazily-started engine behind the Submit methods.
 	streaming streamState[E]
@@ -208,6 +209,7 @@ func (p *QueryPool[E]) acquire() (*Matcher[E], func()) {
 type poolConfig struct {
 	queueDepth  int
 	maxCoalesce int
+	shedPolicy  ShedPolicy
 }
 
 // PoolOption tunes a QueryPool beyond its worker count.
@@ -252,6 +254,7 @@ func NewQueryPool[E any](mt *Matcher[E], workers int, opts ...PoolOption) *Query
 		mt: mt, workers: workers,
 		queueDepth:  cfg.queueDepth,
 		maxCoalesce: cfg.maxCoalesce,
+		shedPolicy:  cfg.shedPolicy,
 	}
 }
 

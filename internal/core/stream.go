@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/seq"
 )
@@ -32,9 +34,15 @@ import (
 // immediately.
 //
 // Backpressure is a bounded in-flight budget: at most queueDepth
-// submissions may be submitted-but-not-completed at once, and Submit blocks
-// (respecting its context) until the engine drains. This is what keeps a
-// serving deployment's memory bounded when clients outpace the hardware.
+// submissions may be submitted-but-not-completed at once. What happens at
+// the bound is a policy (admission.go): block the submitter (the default),
+// reject it with ErrQueueFull, or evict the heaviest tenant's newest queued
+// work in its favour. Submissions may also carry deadlines, priorities and
+// tenant labels (SubmitOption); expired submissions are dropped before a
+// worker prices them, and queue-wait plus end-to-end latency distributions
+// are recorded into HDR-style histograms (latency.go) surfaced by
+// StreamStats. This is what keeps a serving deployment's memory *and tail
+// latency* bounded when clients outpace the hardware.
 
 // ErrPoolClosed is returned by futures whose submission was rejected
 // because Close had already been called.
@@ -44,16 +52,26 @@ var ErrPoolClosed = errors.New("core: query pool closed")
 // completed exactly once by the pool; any number of goroutines may Await
 // it.
 type Future[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
+	done    chan struct{}
+	settled atomic.Bool
+	val     T
+	err     error
 }
 
 func newFuture[T any]() *Future[T] { return &Future[T]{done: make(chan struct{})} }
 
-func (f *Future[T]) complete(v T, err error) {
+// complete resolves the future, reporting whether this call was the one
+// that settled it. The guard makes completion idempotent, which is what
+// lets a worker's panic recovery fail "whatever runBatch had not answered
+// yet" without tracking which futures a half-finished claim already
+// completed.
+func (f *Future[T]) complete(v T, err error) bool {
+	if !f.settled.CompareAndSwap(false, true) {
+		return false
+	}
 	f.val, f.err = v, err
 	close(f.done)
+	return true
 }
 
 // Await blocks until the result is ready or ctx is done, whichever comes
@@ -104,20 +122,31 @@ type streamJob[E any] struct {
 	opts NearestOptions
 	ctx  context.Context
 
+	// Serving metadata (SubmitOption): zero deadline means none, priority
+	// defaults to 0, empty tenant is the shared anonymous tenant. t0 is
+	// when the submission entered the engine (end-to-end latency origin);
+	// enq is when it was enqueued (queue-wait origin).
+	deadline time.Time
+	priority int
+	tenant   string
+	t0       time.Time
+	enq      time.Time
+
 	fHits *Future[[]Hit[E]]
 	fAll  *Future[[]Match]
 	fOne  *Future[QueryResult]
 }
 
-// fail completes the job's future with err.
-func (j *streamJob[E]) fail(err error) {
+// fail completes the job's future with err, reporting whether this call
+// settled it (false when the future had already resolved).
+func (j *streamJob[E]) fail(err error) bool {
 	switch j.kind {
 	case kindFilter:
-		j.fHits.complete(nil, err)
+		return j.fHits.complete(nil, err)
 	case kindFindAll:
-		j.fAll.complete(nil, err)
+		return j.fAll.complete(nil, err)
 	default:
-		j.fOne.complete(QueryResult{}, err)
+		return j.fOne.complete(QueryResult{}, err)
 	}
 }
 
@@ -149,33 +178,50 @@ type streamState[E any] struct {
 	slots  chan struct{}
 	closed bool
 	wg     sync.WaitGroup
+	// tenantLoad counts admitted-but-not-finished submissions per tenant
+	// (guarded by mu), feeding the ShedFairShare eviction decision.
+	tenantLoad map[string]int
 
 	submitted atomic.Int64
 	completed atomic.Int64
 	cancelled atomic.Int64
 	rejected  atomic.Int64
+	shed      atomic.Int64
+	expired   atomic.Int64
+	crashed   atomic.Int64
 	batches   atomic.Int64
 	coalesced atomic.Int64
 	maxBatch  atomic.Int64
+
+	queueWait latencyHist
+	latency   latencyHist
 }
 
 // StreamStats is a point-in-time snapshot of the streaming engine's
 // activity, surfaced by subseqctl serve's /stats endpoint.
 type StreamStats struct {
-	// Workers and QueueDepth echo the pool's configuration.
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queue_depth"`
+	// Workers, QueueDepth and ShedPolicy echo the pool's configuration.
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	ShedPolicy string `json:"shed_policy"`
 	// Pending counts submissions waiting for a worker; InFlight counts
 	// submissions submitted but not yet completed (pending + running).
 	Pending  int `json:"pending"`
 	InFlight int `json:"in_flight"`
-	// Submitted/Completed/Cancelled/Rejected are lifetime submission
-	// counts; Cancelled submissions were abandoned by their context before
-	// a worker ran them, Rejected ones arrived after Close.
+	// Lifetime submission counts. Every submission lands in exactly one:
+	// Completed (a worker answered it, successfully or not), Cancelled
+	// (its context was abandoned first), Rejected (it arrived after
+	// Close), Shed (turned away or evicted at queue saturation —
+	// ErrQueueFull), Expired (its deadline passed first —
+	// ErrDeadlineExceeded) or Crashed (a worker panicked answering it —
+	// ErrWorkerCrashed). Submitted is their sum.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
 	Cancelled int64 `json:"cancelled"`
 	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	Expired   int64 `json:"expired"`
+	Crashed   int64 `json:"crashed"`
 	// Batches counts worker claims (one batched call each); Coalesced
 	// counts submissions that shared their claim with at least one other,
 	// and MaxBatch is the largest claim so far. Coalesced/Submitted near 1
@@ -184,6 +230,11 @@ type StreamStats struct {
 	Batches   int64 `json:"batches"`
 	Coalesced int64 `json:"coalesced"`
 	MaxBatch  int64 `json:"max_batch"`
+	// QueueWait is the enqueue→claim distribution (the overload signal);
+	// Latency is submit→resolution end to end (what a caller experiences).
+	// Only submissions that reached a worker are recorded.
+	QueueWait LatencyStats `json:"queue_wait"`
+	Latency   LatencyStats `json:"latency"`
 }
 
 // DefaultQueueDepth bounds in-flight submissions when the pool was built
@@ -213,36 +264,56 @@ func (p *QueryPool[E]) stream() *streamState[E] {
 	return s
 }
 
-// submit enqueues j, blocking for an in-flight slot when the engine is at
-// queueDepth. The job's future is completed with ctx.Err() if ctx is done
-// first, or ErrPoolClosed if the pool closed first.
-func (p *QueryPool[E]) submit(ctx context.Context, j *streamJob[E]) {
+// submit enqueues j under the pool's shed policy. The job's future is
+// completed with ctx.Err() if ctx is done first, ErrDeadlineExceeded if
+// its deadline passes first, ErrQueueFull if a rejecting policy sheds it,
+// or ErrPoolClosed if the pool closed first.
+func (p *QueryPool[E]) submit(ctx context.Context, j *streamJob[E], opts []SubmitOption) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	j.ctx = ctx
+	if len(opts) > 0 {
+		var sc submitConfig
+		for _, o := range opts {
+			o(&sc)
+		}
+		j.deadline, j.priority, j.tenant = sc.deadline, sc.priority, sc.tenant
+	}
 	s := p.stream()
 	s.submitted.Add(1)
+	j.t0 = time.Now()
 	if err := ctx.Err(); err != nil {
 		s.cancelled.Add(1)
 		j.fail(err)
 		return
 	}
-	select {
-	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		s.cancelled.Add(1)
-		j.fail(ctx.Err())
+	if !j.deadline.IsZero() && !j.t0.Before(j.deadline) {
+		s.expired.Add(1)
+		j.fail(ErrDeadlineExceeded)
+		return
+	}
+	if err := p.admit(j); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.shed.Add(1)
+		case errors.Is(err, ErrDeadlineExceeded):
+			s.expired.Add(1)
+		default:
+			s.cancelled.Add(1)
+		}
+		j.fail(err)
 		return
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		<-s.slots
+		s.finish(j)
 		s.rejected.Add(1)
 		j.fail(ErrPoolClosed)
 		return
 	}
+	j.enq = time.Now()
 	s.queue = append(s.queue, j)
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -251,35 +322,35 @@ func (p *QueryPool[E]) submit(ctx context.Context, j *streamJob[E]) {
 // Submit streams one FindAll (query Type I) through the pool: the returned
 // future resolves to exactly Matcher.FindAll(q, eps). Concurrent
 // submissions at the same radius are answered together through one shared
-// index traversal.
-func (p *QueryPool[E]) Submit(ctx context.Context, q seq.Sequence[E], eps float64) *Future[[]Match] {
+// index traversal. Options attach a deadline, priority or tenant label.
+func (p *QueryPool[E]) Submit(ctx context.Context, q seq.Sequence[E], eps float64, opts ...SubmitOption) *Future[[]Match] {
 	j := &streamJob[E]{kind: kindFindAll, q: q, eps: eps, fAll: newFuture[[]Match]()}
-	p.submit(ctx, j)
+	p.submit(ctx, j, opts)
 	return j.fAll
 }
 
 // SubmitFilter streams the filtering steps (3–4) for one query: the future
 // resolves to exactly Matcher.FilterHits(q, eps).
-func (p *QueryPool[E]) SubmitFilter(ctx context.Context, q seq.Sequence[E], eps float64) *Future[[]Hit[E]] {
+func (p *QueryPool[E]) SubmitFilter(ctx context.Context, q seq.Sequence[E], eps float64, opts ...SubmitOption) *Future[[]Hit[E]] {
 	j := &streamJob[E]{kind: kindFilter, q: q, eps: eps, fHits: newFuture[[]Hit[E]]()}
-	p.submit(ctx, j)
+	p.submit(ctx, j, opts)
 	return j.fHits
 }
 
 // SubmitLongest streams one Longest (query Type II): the future resolves to
 // exactly Matcher.Longest(q, eps).
-func (p *QueryPool[E]) SubmitLongest(ctx context.Context, q seq.Sequence[E], eps float64) *Future[QueryResult] {
+func (p *QueryPool[E]) SubmitLongest(ctx context.Context, q seq.Sequence[E], eps float64, opts ...SubmitOption) *Future[QueryResult] {
 	j := &streamJob[E]{kind: kindLongest, q: q, eps: eps, fOne: newFuture[QueryResult]()}
-	p.submit(ctx, j)
+	p.submit(ctx, j, opts)
 	return j.fOne
 }
 
 // SubmitNearest streams one Nearest (query Type III): the future resolves
 // to exactly Matcher.Nearest(q, opts). Type III shares no traversal across
 // queries, so the workers contribute parallelism only.
-func (p *QueryPool[E]) SubmitNearest(ctx context.Context, q seq.Sequence[E], opts NearestOptions) *Future[QueryResult] {
+func (p *QueryPool[E]) SubmitNearest(ctx context.Context, q seq.Sequence[E], opts NearestOptions, subOpts ...SubmitOption) *Future[QueryResult] {
 	j := &streamJob[E]{kind: kindNearest, q: q, opts: opts, fOne: newFuture[QueryResult]()}
-	p.submit(ctx, j)
+	p.submit(ctx, j, subOpts)
 	return j.fOne
 }
 
@@ -316,21 +387,29 @@ func (p *QueryPool[E]) StreamStats() StreamStats {
 	return StreamStats{
 		Workers:    p.workers,
 		QueueDepth: p.queueDepth,
+		ShedPolicy: p.shedPolicy.String(),
 		Pending:    pending,
 		InFlight:   len(s.slots),
 		Submitted:  s.submitted.Load(),
 		Completed:  s.completed.Load(),
 		Cancelled:  s.cancelled.Load(),
 		Rejected:   s.rejected.Load(),
+		Shed:       s.shed.Load(),
+		Expired:    s.expired.Load(),
+		Crashed:    s.crashed.Load(),
 		Batches:    s.batches.Load(),
 		Coalesced:  s.coalesced.Load(),
 		MaxBatch:   s.maxBatch.Load(),
+		QueueWait:  s.queueWait.snapshot(),
+		Latency:    s.latency.snapshot(),
 	}
 }
 
 // claimLocked removes and returns a run of coalescable jobs from the
-// queue: the head job plus every later job sharing its coalesce key, up to
-// limit. Non-matching jobs keep their order. Callers hold s.mu.
+// queue: a seed job plus every later job sharing its coalesce key, up to
+// limit. The seed is the highest-priority pending job (oldest wins ties,
+// so default-priority traffic claims strictly in arrival order).
+// Non-matching jobs keep their order. Callers hold s.mu.
 func (s *streamState[E]) claimLocked(workers int, maxCoalesce int, claimed []*streamJob[E]) []*streamJob[E] {
 	// Self-balancing claim size: a lone submission is answered immediately,
 	// a burst of n spreads ~n/workers to each worker so the whole set runs
@@ -343,12 +422,21 @@ func (s *streamState[E]) claimLocked(workers int, maxCoalesce int, claimed []*st
 	if limit > maxCoalesce {
 		limit = maxCoalesce
 	}
-	head := s.queue[0]
-	claimed = append(claimed, head)
-	w := 0
+	seedIdx := 0
 	for i := 1; i < len(s.queue); i++ {
+		if s.queue[i].priority > s.queue[seedIdx].priority {
+			seedIdx = i
+		}
+	}
+	seed := s.queue[seedIdx]
+	claimed = append(claimed, seed)
+	w := 0
+	for i := 0; i < len(s.queue); i++ {
+		if i == seedIdx {
+			continue
+		}
 		j := s.queue[i]
-		if len(claimed) < limit && head.coalesceKey(j) {
+		if len(claimed) < limit && seed.coalesceKey(j) {
 			claimed = append(claimed, j)
 		} else {
 			s.queue[w] = j
@@ -383,16 +471,26 @@ func (p *QueryPool[E]) streamWorker() {
 		claimed = s.claimLocked(p.workers, p.maxCoalesce, claimed[:0])
 		s.mu.Unlock()
 
-		// Complete submissions whose context was cancelled while queued
-		// without spending index work on them.
+		// Complete submissions whose context was cancelled or whose
+		// deadline passed while queued, without spending index work on
+		// them — this is the drop-expired-before-claim guarantee: a
+		// worker never prices work nobody is waiting for.
+		now := time.Now()
 		live, qs = live[:0], qs[:0]
 		for _, j := range claimed {
 			if err := j.ctx.Err(); err != nil {
 				j.fail(err)
 				s.cancelled.Add(1)
-				<-s.slots
+				s.finish(j)
 				continue
 			}
+			if !j.deadline.IsZero() && !now.Before(j.deadline) {
+				j.fail(ErrDeadlineExceeded)
+				s.expired.Add(1)
+				s.finish(j)
+				continue
+			}
+			s.queueWait.observe(now.Sub(j.enq))
 			live = append(live, j)
 			qs = append(qs, j.q)
 		}
@@ -411,12 +509,40 @@ func (p *QueryPool[E]) streamWorker() {
 				}
 			}
 			s.completed.Add(int64(len(live)))
-			p.runBatch(live, qs)
-			for range live {
-				<-s.slots
+			p.runClaim(live, qs)
+			done := time.Now()
+			for _, j := range live {
+				s.latency.observe(done.Sub(j.t0))
+				s.finish(j)
 			}
 		}
 	}
+}
+
+// runClaim answers one claim, converting a panic anywhere under runBatch
+// (a faulty distance evaluator, an index bug) into per-future
+// ErrWorkerCrashed failures instead of a dead worker: the claim's
+// unresolved futures fail, the accounting moves from Completed to Crashed
+// for exactly those, and the worker loop continues — the pool self-heals
+// around poisoned queries. Futures runBatch already completed (Nearest
+// resolves incrementally) keep their answers; the settled guard on
+// Future.complete makes the sweep safe.
+func (p *QueryPool[E]) runClaim(live []*streamJob[E], qs []seq.Sequence[E]) {
+	s := &p.streaming
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("%w: %v", ErrWorkerCrashed, r)
+			var failed int64
+			for _, j := range live {
+				if j.fail(err) {
+					failed++
+				}
+			}
+			s.completed.Add(-failed)
+			s.crashed.Add(failed)
+		}
+	}()
+	p.runBatch(live, qs)
 }
 
 // runBatch answers one claimed run — all jobs share a coalesce key — with a

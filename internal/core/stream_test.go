@@ -391,7 +391,7 @@ func TestStreamStressRace(t *testing.T) {
 	if st.InFlight != 0 || st.Pending != 0 {
 		t.Fatalf("engine not drained after Close: %+v", st)
 	}
-	if st.Completed+st.Cancelled+st.Rejected != st.Submitted {
+	if st.Completed+st.Cancelled+st.Rejected+st.Shed+st.Expired+st.Crashed != st.Submitted {
 		t.Fatalf("submission accounting leaks: %+v", st)
 	}
 }

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Background snapshot scheduling. PR 6 gave the store crash-safe
+// persistence on demand (SnapshotFile) and on SIGTERM; a serving process
+// also needs it on a clock, so that losing the process loses at most one
+// interval of ingest. The scheduler below snapshots periodically, retries
+// transient write failures with jittered exponential backoff (a full disk
+// or flaky volume at tick time should not cost the whole interval), and
+// surfaces its health as counters for /stats — a snapshot loop that fails
+// silently is worse than none.
+
+// SchedulerStats is a point-in-time snapshot of a snapshot scheduler's
+// health, surfaced by subseqctl serve's /stats endpoint.
+type SchedulerStats struct {
+	// IntervalMillis echoes the configured period.
+	IntervalMillis int64 `json:"interval_ms"`
+	// Snapshots counts successful background snapshots; Retries counts
+	// transient failures that were retried; Failures counts snapshot
+	// rounds abandoned after exhausting retries.
+	Snapshots int64 `json:"snapshots"`
+	Retries   int64 `json:"retries"`
+	Failures  int64 `json:"failures"`
+	// LastSuccessUnix is when the newest on-disk snapshot landed (unix
+	// seconds, 0 before the first); LastError is the most recent write
+	// failure, cleared by the next success.
+	LastSuccessUnix int64  `json:"last_success_unix,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Scheduler is a running background snapshot loop; Stop ends it.
+type Scheduler struct {
+	interval time.Duration
+	snap     func() error
+	cfg      schedConfig
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	snapshots atomic.Int64
+	retries   atomic.Int64
+	failures  atomic.Int64
+	lastOK    atomic.Int64
+	lastErr   atomic.Pointer[string]
+}
+
+// SchedulerOption tunes ScheduleSnapshots.
+type SchedulerOption func(*schedConfig)
+
+type schedConfig struct {
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	onError func(error)
+}
+
+// WithSnapshotRetries sets how many times one snapshot round retries a
+// transient failure before giving up until the next tick (default 3;
+// values < 0 disable retrying).
+func WithSnapshotRetries(n int) SchedulerOption {
+	return func(c *schedConfig) {
+		if n >= 0 {
+			c.retries = n
+		} else {
+			c.retries = 0
+		}
+	}
+}
+
+// WithSnapshotBackoff sets the first retry delay and its cap; delays
+// double per retry with ±25 % jitter so a fleet of servers does not
+// hammer shared storage in lockstep (defaults 250ms, 5s).
+func WithSnapshotBackoff(first, max time.Duration) SchedulerOption {
+	return func(c *schedConfig) {
+		if first > 0 {
+			c.backoff = first
+		}
+		if max >= c.backoff {
+			c.maxWait = max
+		}
+	}
+}
+
+// WithSnapshotOnError installs a callback invoked with every snapshot
+// write failure (retried or final) — the serving daemon logs them.
+func WithSnapshotOnError(fn func(error)) SchedulerOption {
+	return func(c *schedConfig) { c.onError = fn }
+}
+
+// ScheduleSnapshots starts a background loop that writes a crash-safe
+// snapshot of the store to path (via SnapshotFile: temp + sync + rename)
+// every interval, retrying transient failures with jittered exponential
+// backoff. The returned Scheduler reports health through Stats; Stop ends
+// the loop and waits for any in-flight round to finish. Snapshots hold
+// the store's read lock, so they run concurrently with queries and wait
+// only for mutations in flight.
+func (s *Store[E]) ScheduleSnapshots(path string, interval time.Duration, opts ...SchedulerOption) (*Scheduler, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("store: snapshot interval %v is not positive", interval)
+	}
+	cfg := schedConfig{retries: 3, backoff: 250 * time.Millisecond, maxWait: 5 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sc := &Scheduler{
+		interval: interval,
+		snap:     func() error { return s.SnapshotFile(path) },
+		cfg:      cfg,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(sc.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sc.stop:
+				return
+			case <-t.C:
+				sc.runOnce()
+			}
+		}
+	}()
+	return sc, nil
+}
+
+// runOnce performs one snapshot round: try, then retry with backoff until
+// success, retry exhaustion, or Stop.
+func (sc *Scheduler) runOnce() {
+	cfg := sc.cfg
+	wait := cfg.backoff
+	for attempt := 0; ; attempt++ {
+		err := sc.snap()
+		if err == nil {
+			sc.snapshots.Add(1)
+			sc.lastOK.Store(time.Now().Unix())
+			sc.lastErr.Store(nil)
+			return
+		}
+		if cfg.onError != nil {
+			cfg.onError(err)
+		}
+		msg := err.Error()
+		sc.lastErr.Store(&msg)
+		if attempt >= cfg.retries {
+			sc.failures.Add(1)
+			return
+		}
+		sc.retries.Add(1)
+		// ±25 % jitter, doubling up to the cap.
+		d := wait + time.Duration(rand.Int64N(int64(wait)/2+1)) - wait/4
+		select {
+		case <-sc.stop:
+			return
+		case <-time.After(d):
+		}
+		if wait *= 2; wait > cfg.maxWait {
+			wait = cfg.maxWait
+		}
+	}
+}
+
+// Stop ends the loop and waits for an in-flight snapshot round to finish.
+// Idempotent.
+func (sc *Scheduler) Stop() {
+	sc.stopOnce.Do(func() { close(sc.stop) })
+	<-sc.done
+}
+
+// Stats snapshots the scheduler's health counters.
+func (sc *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		IntervalMillis:  sc.interval.Milliseconds(),
+		Snapshots:       sc.snapshots.Load(),
+		Retries:         sc.retries.Load(),
+		Failures:        sc.failures.Load(),
+		LastSuccessUnix: sc.lastOK.Load(),
+	}
+	if msg := sc.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	return st
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The scheduler snapshots on a clock, the file restores to a
+// bit-identical store, and Stop is idempotent.
+func TestScheduleSnapshotsPeriodic(t *testing.T) {
+	s, _, rng := testStore(t, core.IndexRefNet)
+	path := filepath.Join(t.TempDir(), "live.snap")
+
+	sc, err := s.ScheduleSnapshots(path, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first snapshot", func() bool { return sc.Stats().Snapshots >= 1 })
+
+	// Mutate, then wait for a tick that must capture the mutation.
+	if _, err := s.Append(randSeq(rng, 30)); err != nil {
+		t.Fatal(err)
+	}
+	after := sc.Stats().Snapshots
+	waitFor(t, 5*time.Second, "post-append snapshot", func() bool { return sc.Stats().Snapshots >= after+2 })
+	sc.Stop()
+	sc.Stop() // idempotent
+
+	st := sc.Stats()
+	if st.Failures != 0 || st.LastError != "" {
+		t.Fatalf("scheduler saw failures: %+v", st)
+	}
+	if st.LastSuccessUnix == 0 {
+		t.Fatalf("LastSuccessUnix not recorded: %+v", st)
+	}
+
+	q := randSeq(rng, 26)
+	const eps = 3
+	want := s.Matcher().FindAll(q, eps)
+	restored, err := OpenFile(path, dist.LevenshteinMeasure[byte](), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMatches(t, "restored from scheduled snapshot", restored.Matcher().FindAll(q, eps), want)
+	ids, live := restored.Len()
+	wantIDs, wantLive := s.Len()
+	if ids != wantIDs || live != wantLive {
+		t.Fatalf("restored Len = (%d,%d), want (%d,%d)", ids, live, wantIDs, wantLive)
+	}
+}
+
+// A transient write failure (target directory missing) is retried with
+// backoff inside the same round and recovers without losing the tick.
+func TestScheduleSnapshotsRetryRecovers(t *testing.T) {
+	s, _, _ := testStore(t, core.IndexLinearScan)
+	dir := filepath.Join(t.TempDir(), "not-yet")
+	path := filepath.Join(dir, "live.snap")
+
+	var once sync.Once
+	var seen []string
+	var mu sync.Mutex
+	sc, err := s.ScheduleSnapshots(path, 5*time.Millisecond,
+		WithSnapshotRetries(10),
+		WithSnapshotBackoff(2*time.Millisecond, 10*time.Millisecond),
+		WithSnapshotOnError(func(err error) {
+			mu.Lock()
+			seen = append(seen, err.Error())
+			mu.Unlock()
+			// Heal the fault after the first failure: the same round's
+			// retry should then succeed.
+			once.Do(func() { os.MkdirAll(dir, 0o755) })
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "snapshot after recovery", func() bool { return sc.Stats().Snapshots >= 1 })
+	sc.Stop()
+
+	st := sc.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("expected retries, got %+v", st)
+	}
+	if st.LastError != "" {
+		t.Fatalf("LastError should clear on success: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 || !strings.Contains(seen[0], "snapshot") {
+		t.Fatalf("onError saw %q", seen)
+	}
+	if _, err := OpenFile(path, dist.LevenshteinMeasure[byte](), nil); err != nil {
+		t.Fatalf("restore after recovery: %v", err)
+	}
+}
+
+func TestScheduleSnapshotsRejectsBadInterval(t *testing.T) {
+	s, _, _ := testStore(t, core.IndexLinearScan)
+	if _, err := s.ScheduleSnapshots("x", 0); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+}
+
+// failAfter fails with errBoom once n bytes have been written — the
+// mid-write crash shape (disk full, process kill) for SnapshotFile.
+type failAfter struct {
+	w io.Writer
+	n int
+}
+
+var errBoom = errors.New("injected write failure")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errBoom
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+		n, err := f.w.Write(p)
+		f.n -= n
+		if err != nil {
+			return n, err
+		}
+		return n, errBoom
+	}
+	n, err := f.w.Write(p)
+	f.n -= n
+	return n, err
+}
+
+// A crash halfway through writing a new snapshot must leave the previous
+// snapshot byte-identical on disk and no temp litter behind — the
+// write-to-temp + rename contract.
+func TestSnapshotFileMidWriteCrashLeavesPreviousIntact(t *testing.T) {
+	s, _, rng := testStore(t, core.IndexRefNet)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.snap")
+
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate so the next snapshot would differ, then crash it mid-write.
+	if _, err := s.Append(randSeq(rng, 30)); err != nil {
+		t.Fatal(err)
+	}
+	s.snapshotWrap = func(w io.Writer) io.Writer { return &failAfter{w: w, n: len(before) / 2} }
+	if err := s.SnapshotFile(path); !errors.Is(err, errBoom) {
+		t.Fatalf("SnapshotFile error = %v, want errBoom", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("previous snapshot bytes changed after mid-write crash")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "live.snap" {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+
+	// The surviving snapshot still restores; the healed store snapshots
+	// the mutation on the next attempt.
+	if _, err := OpenFile(path, dist.LevenshteinMeasure[byte](), nil); err != nil {
+		t.Fatalf("restore of surviving snapshot: %v", err)
+	}
+	s.snapshotWrap = nil
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenFile(path, dist.LevenshteinMeasure[byte](), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, live := restored.Len()
+	wantIDs, wantLive := s.Len()
+	if ids != wantIDs || live != wantLive {
+		t.Fatalf("healed snapshot Len = (%d,%d), want (%d,%d)", ids, live, wantIDs, wantLive)
+	}
+}
+
+// A corrupt snapshot fails restore with a CorruptError and Quarantine
+// moves it aside so a fresh build can proceed.
+func TestQuarantineCorruptSnapshot(t *testing.T) {
+	s, _, _ := testStore(t, core.IndexRefNet)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.snap")
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = OpenFile(path, dist.LevenshteinMeasure[byte](), nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("restore of corrupt snapshot: %v, want CorruptError", err)
+	}
+
+	qpath, err := Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qpath != path+".corrupt" {
+		t.Fatalf("quarantine path = %q", qpath)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original still present: %v", err)
+	}
+	moved, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(moved) != string(raw) {
+		t.Fatal("quarantined bytes differ from the corrupt snapshot")
+	}
+	if _, err := Quarantine(path); err == nil {
+		t.Fatal("quarantining a missing file should fail")
+	}
+}

@@ -448,3 +448,17 @@ func OpenFile[E any](path string, m dist.Measure[E], check func(Header) error, o
 	defer f.Close()
 	return Open(f, m, check, opts...)
 }
+
+// Quarantine moves a snapshot that failed to restore out of the way —
+// renamed to path + ".corrupt" — so the serving process can fall back to
+// a fresh build without the next restart tripping over the same bad
+// bytes, while keeping them on disk for forensics. An existing
+// quarantined file at the target is overwritten (the newest corpse is
+// the interesting one). Returns the quarantine path.
+func Quarantine(path string) (string, error) {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		return "", fmt.Errorf("store: quarantine %s: %w", path, err)
+	}
+	return dst, nil
+}

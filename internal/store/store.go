@@ -52,6 +52,11 @@ type Store[E any] struct {
 	// with a TTL; Sweep retires the ones past due.
 	expiry map[int]time.Time
 	now    func() time.Time
+
+	// snapshotWrap, when non-nil, wraps the temp-file writer used by
+	// SnapshotFile — a test hook that simulates mid-write crashes (disk
+	// full, process kill) to prove the previous snapshot survives.
+	snapshotWrap func(io.Writer) io.Writer
 }
 
 // Option configures a Store at construction.
@@ -229,7 +234,11 @@ func (s *Store[E]) SnapshotFile(path string) error {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := s.Snapshot(tmp); err != nil {
+	var w io.Writer = tmp
+	if s.snapshotWrap != nil {
+		w = s.snapshotWrap(tmp)
+	}
+	if err := s.Snapshot(w); err != nil {
 		tmp.Close()
 		return err
 	}

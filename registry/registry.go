@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	subseq "repro"
 	"repro/internal/data"
@@ -380,6 +381,19 @@ type ServerSpec struct {
 	// QueueDepth bounds in-flight submissions (accepted but not yet
 	// answered); 0 selects subseq.DefaultQueueDepth.
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// Shed names the load-shedding policy applied when the in-flight
+	// budget is exhausted: "block" (default), "reject" or "fair"
+	// (synonyms accepted, see subseq.ParseShedPolicy).
+	Shed string `json:"shed,omitempty"`
+	// RequestTimeout bounds each query request end to end; expired work
+	// is dropped before a worker prices it. 0 means no timeout.
+	RequestTimeout time.Duration `json:"request_timeout,omitempty"`
+	// SnapshotInterval enables background periodic snapshots to
+	// SnapshotPath; 0 disables them.
+	SnapshotInterval time.Duration `json:"snapshot_interval,omitempty"`
+	// SnapshotPath is where background snapshots land (required when
+	// SnapshotInterval is set).
+	SnapshotPath string `json:"snapshot_path,omitempty"`
 }
 
 // DefaultServeAddr is the listen address a ServerSpec resolves to when
@@ -416,6 +430,15 @@ type ServerConfig struct {
 	Addr       string      `json:"addr"`
 	Workers    int         `json:"workers"`
 	QueueDepth int         `json:"queue_depth"`
+	// Shed is the canonical shed-policy name ("block", "reject", "fair").
+	Shed string `json:"shed"`
+	// RequestTimeoutMillis is the per-request timeout in milliseconds
+	// (0: none).
+	RequestTimeoutMillis int64 `json:"request_timeout_ms,omitempty"`
+	// SnapshotIntervalMillis is the background snapshot period in
+	// milliseconds (0: disabled); SnapshotPath is its target file.
+	SnapshotIntervalMillis int64  `json:"snapshot_interval_ms,omitempty"`
+	SnapshotPath           string `json:"snapshot_path,omitempty"`
 }
 
 // Resolve fills the spec's defaults and resolves every name against the
@@ -434,11 +457,28 @@ func (s ServerSpec) Resolve() (ServerConfig, error) {
 	if err != nil {
 		return ServerConfig{}, err
 	}
+	shed, err := subseq.ParseShedPolicy(s.Shed)
+	if err != nil {
+		return ServerConfig{}, fmt.Errorf("registry: %w", err)
+	}
+	if s.RequestTimeout < 0 {
+		return ServerConfig{}, fmt.Errorf("registry: request timeout %v is negative", s.RequestTimeout)
+	}
+	if s.SnapshotInterval < 0 {
+		return ServerConfig{}, fmt.Errorf("registry: snapshot interval %v is negative", s.SnapshotInterval)
+	}
+	if s.SnapshotInterval > 0 && s.SnapshotPath == "" {
+		return ServerConfig{}, fmt.Errorf("registry: snapshot interval %v set without a snapshot path", s.SnapshotInterval)
+	}
 	cfg := ServerConfig{
 		Dataset: di, Measure: mi, Backend: bi,
 		Windows: s.Windows, WindowLen: wl,
 		Lambda: 2 * wl, Lambda0: lambda0, Seed: s.Seed,
 		Addr: s.Addr, Workers: s.Workers, QueueDepth: s.QueueDepth,
+		Shed:                   shed.String(),
+		RequestTimeoutMillis:   s.RequestTimeout.Milliseconds(),
+		SnapshotIntervalMillis: s.SnapshotInterval.Milliseconds(),
+		SnapshotPath:           s.SnapshotPath,
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = DefaultServeAddr

@@ -181,6 +181,73 @@ type StreamStats = core.StreamStats
 // pool's streaming engine was closed.
 var ErrPoolClosed = core.ErrPoolClosed
 
+// Admission control and load shedding (see docs/SERVING.md, "Operating
+// under load"): a streaming submission may carry a deadline, a priority
+// and a tenant, and the pool may shed work instead of blocking when its
+// in-flight budget is exhausted.
+
+// ErrQueueFull is returned (via the submission's Future) when the pool's
+// shed policy rejects a submission because the in-flight budget is
+// exhausted. subseqctl serve maps it to HTTP 429 with a Retry-After.
+var ErrQueueFull = core.ErrQueueFull
+
+// ErrDeadlineExceeded is returned when a submission's deadline (set with
+// WithSubmitDeadline or WithSubmitTimeout) passes before a worker prices
+// the query — expired work is dropped before it costs anything. subseqctl
+// serve maps it to HTTP 504.
+var ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+// ErrWorkerCrashed wraps a panic recovered while answering a claim: the
+// affected futures fail with it and the worker keeps serving. subseqctl
+// serve maps it to HTTP 500.
+var ErrWorkerCrashed = core.ErrWorkerCrashed
+
+// ShedPolicy selects what a pool does when a submission arrives with the
+// in-flight budget exhausted.
+type ShedPolicy = core.ShedPolicy
+
+// Shed policies: block the submitter (default), reject the newcomer with
+// ErrQueueFull, or evict the newest queued query of the most-loaded
+// tenant to make room (per-tenant fair share).
+const (
+	ShedBlock        = core.ShedBlock
+	ShedRejectNewest = core.ShedRejectNewest
+	ShedFairShare    = core.ShedFairShare
+)
+
+// ParseShedPolicy resolves a policy name ("block", "reject",
+// "reject-newest", "fair", "fair-share"); "" selects ShedBlock.
+func ParseShedPolicy(name string) (ShedPolicy, error) { return core.ParseShedPolicy(name) }
+
+// WithShedPolicy sets the pool's shed policy (default ShedBlock).
+func WithShedPolicy(p ShedPolicy) PoolOption { return core.WithShedPolicy(p) }
+
+// SubmitOption attaches per-submission admission metadata to a streaming
+// Submit call.
+type SubmitOption = core.SubmitOption
+
+// WithSubmitDeadline drops the submission with ErrDeadlineExceeded if a
+// worker has not started pricing it by t.
+func WithSubmitDeadline(t time.Time) SubmitOption { return core.WithSubmitDeadline(t) }
+
+// WithSubmitTimeout is WithSubmitDeadline at now+d.
+func WithSubmitTimeout(d time.Duration) SubmitOption { return core.WithSubmitTimeout(d) }
+
+// WithPriority biases claim seeding toward higher-priority submissions
+// (default 0; ties keep arrival order).
+func WithPriority(p int) SubmitOption { return core.WithPriority(p) }
+
+// WithTenant attributes the submission to a tenant for fair-share
+// accounting (see ShedFairShare).
+func WithTenant(id string) SubmitOption { return core.WithTenant(id) }
+
+// LatencyStats summarises one of the pool's HDR-style latency histograms
+// (queue wait, end-to-end) as reported in StreamStats.
+type LatencyStats = core.LatencyStats
+
+// LatencyBucket is one histogram bucket of a LatencyStats.
+type LatencyBucket = core.LatencyBucket
+
 // DefaultQueueDepth is the streaming engine's in-flight bound when
 // WithQueueDepth is not given.
 const DefaultQueueDepth = core.DefaultQueueDepth
@@ -413,6 +480,40 @@ func ReadSnapshotHeader(r io.Reader) (SnapshotHeader, error) {
 // AppendTTL schedules a sequence appended with it for retirement once d
 // has elapsed (Store.Sweep performs the retirement).
 func AppendTTL(d time.Duration) AppendOption { return store.WithTTL(d) }
+
+// SnapshotScheduler is a running background snapshot loop started by
+// Store.ScheduleSnapshots: a crash-safe SnapshotFile every interval, with
+// jittered-backoff retries on transient write failure and health counters
+// for monitoring. Stop ends it.
+type SnapshotScheduler = store.Scheduler
+
+// SnapshotSchedulerStats is a SnapshotScheduler's health snapshot.
+type SnapshotSchedulerStats = store.SchedulerStats
+
+// SnapshotSchedulerOption tunes Store.ScheduleSnapshots
+// (WithSnapshotRetries, WithSnapshotBackoff, WithSnapshotOnError).
+type SnapshotSchedulerOption = store.SchedulerOption
+
+// WithSnapshotRetries bounds per-round retries of a failed background
+// snapshot (default 3).
+func WithSnapshotRetries(n int) SnapshotSchedulerOption { return store.WithSnapshotRetries(n) }
+
+// WithSnapshotBackoff sets the first retry delay and its cap (defaults
+// 250ms, 5s); delays double with ±25% jitter.
+func WithSnapshotBackoff(first, max time.Duration) SnapshotSchedulerOption {
+	return store.WithSnapshotBackoff(first, max)
+}
+
+// WithSnapshotOnError installs a callback for background snapshot write
+// failures.
+func WithSnapshotOnError(fn func(error)) SnapshotSchedulerOption {
+	return store.WithSnapshotOnError(fn)
+}
+
+// QuarantineSnapshot moves a snapshot that failed to restore aside
+// (renamed to path + ".corrupt") so a fresh build can proceed while the
+// bad bytes stay available for forensics; it returns the quarantine path.
+func QuarantineSnapshot(path string) (string, error) { return store.Quarantine(path) }
 
 // WithClock substitutes the Store's wall clock for TTL bookkeeping.
 func WithClock(now func() time.Time) StoreOption { return store.WithClock(now) }
