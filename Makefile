@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke chaos-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke shard-smoke chaos-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -49,6 +49,16 @@ serve-smoke:
 # -snapshot-on-sigterm (TestSnapshotSmokeBinary drives the whole flow).
 snapshot-smoke:
 	$(GO) test -run TestSnapshotSmokeBinary -count=1 -v ./cmd/subseqctl
+
+# shard-smoke is the scatter-gather end-to-end check: build the real
+# subseqctl binary, start two shard serve processes plus a gateway that
+# discovers the partition from their /stats, run per-kind and batch
+# queries through the gateway (findall checked bit-identical against the
+# library), kill one shard and verify the fleet keeps answering with the
+# dead shard named in the degradation block, then shut down gracefully
+# (TestShardSmokeBinary drives the whole flow).
+shard-smoke:
+	$(GO) test -run TestShardSmokeBinary -count=1 -v ./cmd/subseqctl
 
 # chaos-smoke drives the fault-injection harness (internal/chaos) under
 # the race detector on a CI time budget: worker kills mid-claim, evaluator

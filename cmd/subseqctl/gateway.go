@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// subseqctl gateway: the scatter-gather front end over a shard fleet.
+// Each shard is an ordinary `subseqctl serve` process hosting one slice
+// of the logical database (shard_lo/shard_hi on its session spec); the
+// gateway fans every query out to all of them through the bounded-retry
+// client and merges the answers deterministically (internal/shard), so a
+// client sees one index — bit-identical to a single node over the same
+// windows — plus a "degradation" block naming any shard that could not
+// answer. docs/SHARDING.md documents the topology end to end.
+
+// defaultGatewayAddr deliberately differs from registry.DefaultServeAddr
+// so a gateway and a shard can share a host with no flags.
+const defaultGatewayAddr = "127.0.0.1:8090"
+
+func cmdGateway(args []string) {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", defaultGatewayAddr, "TCP listen address (host:port; :0 picks a free port)")
+	var shards stringList
+	fs.Var(&shards, "shard", "base URL of one shard serve process, e.g. http://127.0.0.1:8077 (repeatable, in shard order)")
+	ranges := fs.String("ranges", "", `comma-separated lo-hi sequence ranges, one per -shard in order (e.g. "0-3,3-6"); empty discovers the plan from each shard's /stats`)
+	attempts := fs.Int("attempts", 4, "per-shard request attempts (retries on 429/503 and transport errors)")
+	fs.Parse(args)
+	if len(shards) == 0 {
+		fail(errors.New("gateway needs at least one -shard URL"))
+	}
+	rc := &retryClient{attempts: *attempts}
+	get := func(ctx context.Context, url string) (*http.Response, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		return http.DefaultClient.Do(req)
+	}
+	var plan shard.Plan
+	var err error
+	if *ranges != "" {
+		plan, err = planFromFlag(*ranges)
+	} else {
+		plan, err = discoverPlan(shards, get)
+	}
+	if err != nil {
+		fail(err)
+	}
+	gw, err := shard.NewGateway(plan, shards, shard.WithPost(rc.postJSON), shard.WithGet(get))
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	for i, r := range plan.Ranges {
+		fmt.Printf("subseqctl: gateway shard %d %s at %s\n", i, r, strings.TrimRight(shards[i], "/"))
+	}
+	fmt.Printf("subseqctl: gateway over %d shards (%d sequences) on http://%s\n",
+		len(plan.Ranges), plan.Seqs, ln.Addr())
+	hs := &http.Server{Handler: gw.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-done
+	fmt.Println("subseqctl: gateway shut down")
+}
+
+// planFromFlag parses the -ranges flag ("0-3,3-6") into a validated plan;
+// the total sequence count is the last range's hi.
+func planFromFlag(s string) (shard.Plan, error) {
+	parts := strings.Split(s, ",")
+	rs := make([]shard.Range, len(parts))
+	for i, p := range parts {
+		lo, hi, ok := strings.Cut(strings.TrimSpace(p), "-")
+		if !ok {
+			return shard.Plan{}, fmt.Errorf("-ranges entry %q is not lo-hi", p)
+		}
+		var err error
+		if rs[i].Lo, err = strconv.Atoi(lo); err != nil {
+			return shard.Plan{}, fmt.Errorf("-ranges entry %q: %w", p, err)
+		}
+		if rs[i].Hi, err = strconv.Atoi(hi); err != nil {
+			return shard.Plan{}, fmt.Errorf("-ranges entry %q: %w", p, err)
+		}
+	}
+	numSeqs := rs[len(rs)-1].Hi
+	return shard.PlanFromRanges(numSeqs, rs)
+}
+
+// shardProbe is the slice of a shard's /stats the gateway needs to learn
+// the topology: the shard range its session was configured with, and the
+// store's sequence count as a fallback for unsharded fleets.
+type shardProbe struct {
+	Config struct {
+		ShardLo int `json:"shard_lo"`
+		ShardHi int `json:"shard_hi"`
+	} `json:"config"`
+	Store struct {
+		Sequences int `json:"sequences"`
+	} `json:"store"`
+}
+
+// discoverPlan learns the partition from the shards themselves: each
+// serve process echoes its shard_lo/shard_hi on /stats, so a correctly
+// configured fleet describes its own plan (and a misconfigured one —
+// gaps, overlaps, out-of-order URLs — is rejected by the same validation
+// a -ranges flag gets). A fleet of unsharded sessions is stacked instead:
+// shard i owns the next Sequences-sized block, which matches how a
+// gateway over independent stores would number them.
+func discoverPlan(urls []string, get shard.GetFunc) (shard.Plan, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	probes := make([]shardProbe, len(urls))
+	for i, u := range urls {
+		res, err := get(ctx, strings.TrimRight(u, "/")+"/stats")
+		if err != nil {
+			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
+		}
+		b, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+		res.Body.Close()
+		if err != nil {
+			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
+		}
+		if res.StatusCode != http.StatusOK {
+			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): HTTP %d", i, u, res.StatusCode)
+		}
+		if err := json.Unmarshal(b, &probes[i]); err != nil {
+			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
+		}
+	}
+	sharded := 0
+	for _, p := range probes {
+		if p.Config.ShardHi > 0 {
+			sharded++
+		}
+	}
+	switch {
+	case sharded == len(probes):
+		rs := make([]shard.Range, len(probes))
+		for i, p := range probes {
+			rs[i] = shard.Range{Lo: p.Config.ShardLo, Hi: p.Config.ShardHi}
+		}
+		return shard.PlanFromRanges(rs[len(rs)-1].Hi, rs)
+	case sharded == 0:
+		rs := make([]shard.Range, len(probes))
+		lo := 0
+		for i, p := range probes {
+			rs[i] = shard.Range{Lo: lo, Hi: lo + p.Store.Sequences}
+			lo = rs[i].Hi
+		}
+		return shard.PlanFromRanges(lo, rs)
+	default:
+		return shard.Plan{}, fmt.Errorf(
+			"discovering plan: %d of %d shards declare a shard range and the rest do not; mixed fleets are ambiguous (give -ranges explicitly)",
+			sharded, len(probes))
+	}
+}

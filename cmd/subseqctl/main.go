@@ -35,6 +35,20 @@
 //	    from a snapshot without re-indexing (-snapshot-on-sigterm writes
 //	    a final snapshot after the graceful drain).
 //
+//	subseqctl serve -config fleet.json   (or repeated -session k=v,… flags)
+//	    host several named sessions in one process, each mounted under
+//	    /s/{name}/ with its own store and admission config; the first
+//	    session also answers the legacy root routes, and GET /sessions
+//	    lists what the process hosts. A session with shard_lo/shard_hi
+//	    serves one slice of the logical database (see docs/SHARDING.md).
+//
+//	subseqctl gateway -shard http://host:8077 -shard http://host:8078
+//	    run the scatter-gather front end over a shard fleet: every query
+//	    fans out to all shards and the answers merge deterministically —
+//	    bit-identical to a single node over the same windows. A shard
+//	    that cannot answer degrades the response (named in a
+//	    "degradation" block) instead of failing it.
+//
 //	subseqctl distances -dataset traj -measure dfd -samples 10000
 //	    print the pairwise window distance distribution.
 //
@@ -65,6 +79,8 @@ func main() {
 		cmdQuery(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "gateway":
+		cmdGateway(os.Args[2:])
 	case "distances":
 		cmdDistances(os.Args[2:])
 	default:
@@ -73,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: subseqctl <list|stats|query|serve|distances> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: subseqctl <list|stats|query|serve|gateway|distances> [flags]")
 	os.Exit(2)
 }
 

@@ -1,21 +1,26 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/seq"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/registry"
 )
@@ -45,33 +50,78 @@ func cmdServe(args []string) {
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline; expired queries are dropped before a worker prices them (0: none)")
 	snapInterval := fs.Duration("snapshot-interval", 0, "write a background snapshot to -snapshot-path this often (0: disabled)")
 	snapPath := fs.String("snapshot-path", "", "target file for -snapshot-interval snapshots (written atomically)")
+	config := fs.String("config", "", "JSON file holding a list of server specs, one named session each (multi-session mode; see docs/SHARDING.md)")
+	var sessions stringList
+	fs.Var(&sessions, "session", "add a named session from comma-separated key=value pairs, e.g. name=p0,dataset=proteins,windows=200,shard_lo=0,shard_hi=3 (repeatable; see docs/SHARDING.md)")
 	fs.Parse(args)
-	srvSpec := registry.ServerSpec{
-		SessionSpec: *spec, Addr: *addr, Workers: *workers, QueueDepth: *queue,
+	legacy := registry.ServerSpec{
+		SessionSpec: *spec, Restore: *restore,
+		Addr: *addr, Workers: *workers, QueueDepth: *queue,
 		Shed: *shed, RequestTimeout: *reqTimeout,
 		SnapshotInterval: *snapInterval, SnapshotPath: *snapPath,
 	}
-	s, err := newSession(*spec)
+	specs, err := serveSpecs(*config, sessions, legacy)
 	if err != nil {
 		fail(err)
 	}
-	qs, err := s.newServer(srvSpec, *restore)
-	if err != nil {
+	if err := registry.ValidateServerSpecs(specs); err != nil {
 		fail(err)
 	}
-	defer qs.close()
-	ln, err := net.Listen("tcp", qs.config().Addr)
+	if *snapOnTerm != "" && len(specs) > 1 {
+		fail(errors.New("-snapshot-on-sigterm applies to a single session; give multi-session processes per-session snapshot_path entries"))
+	}
+	// In multi-session mode the process still has exactly one listener: an
+	// explicit -addr flag wins, else the one address the spec list names.
+	listenAddr := *addr
+	if (*config != "" || len(sessions) > 0) && !flagWasSet(fs, "addr") {
+		listenAddr = registry.ListenAddr(specs)
+	}
+	type running struct {
+		name string
+		s    session
+		qs   queryServer
+	}
+	servers := make([]running, 0, len(specs))
+	defer func() {
+		for _, rs := range servers {
+			rs.qs.close()
+		}
+	}()
+	for _, sp := range specs {
+		s, err := newSession(sp.SessionSpec)
+		if err != nil {
+			fail(fmt.Errorf("session %q: %w", sp.MountName(), err))
+		}
+		qs, err := s.newServer(sp, sp.Restore)
+		if err != nil {
+			fail(fmt.Errorf("session %q: %w", sp.MountName(), err))
+		}
+		servers = append(servers, running{name: sp.MountName(), s: s, qs: qs})
+	}
+	mounts := make([]mountedSession, len(servers))
+	for i, rs := range servers {
+		mounts[i] = mountedSession{name: rs.name, qs: rs.qs}
+	}
+	root := multiSessionMux(mounts)
+	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		fail(err)
 	}
 	// The bound address is printed and echoed on /stats (not the requested
 	// one) so scripts may listen on :0 and scrape the port.
-	qs.setAddr(ln.Addr().String())
-	if qs.wasRestored() {
-		fmt.Printf("subseqctl: restored %d windows from %s without re-indexing\n", qs.numWindows(), *restore)
+	for _, rs := range servers {
+		rs.qs.setAddr(ln.Addr().String())
 	}
-	fmt.Printf("subseqctl: serving %s on http://%s\n", s.describe(), ln.Addr())
-	hs := &http.Server{Handler: qs.handler()}
+	for _, rs := range servers {
+		if rs.qs.wasRestored() {
+			fmt.Printf("subseqctl: session %q restored %d windows without re-indexing\n", rs.name, rs.qs.numWindows())
+		}
+		if len(servers) > 1 {
+			fmt.Printf("subseqctl: session %q (%s) at /s/%s/\n", rs.name, rs.s.describe(), rs.name)
+		}
+	}
+	fmt.Printf("subseqctl: serving %s on http://%s\n", servers[0].s.describe(), ln.Addr())
+	hs := &http.Server{Handler: root}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan struct{})
@@ -91,12 +141,170 @@ func cmdServe(args []string) {
 	if *snapOnTerm != "" {
 		// Requests have drained; the store is quiescent. Snapshot it so the
 		// next start can -restore instead of re-indexing.
-		if err := qs.snapshot(*snapOnTerm); err != nil {
+		if err := servers[0].qs.snapshot(*snapOnTerm); err != nil {
 			fail(err)
 		}
 		fmt.Printf("subseqctl: snapshot written to %s\n", *snapOnTerm)
 	}
 	fmt.Println("subseqctl: shut down")
+}
+
+// sessionListing is one entry of GET /sessions: how a multi-session
+// process advertises what it hosts (the gateway's discovery surface).
+type sessionListing struct {
+	Name   string                `json:"name"`
+	Path   string                `json:"path"`
+	Config registry.ServerConfig `json:"config"`
+}
+
+// mountedSession pairs a session's mount name with its serving stack.
+type mountedSession struct {
+	name string
+	qs   queryServer
+}
+
+// multiSessionMux is the multi-tenant routing surface: every session
+// mounts under /s/{name}/, the first session also answers the legacy
+// root routes (so single-session invocations and the shard fleet behind
+// a gateway keep working unchanged), and GET /sessions lists what the
+// process hosts.
+func multiSessionMux(servers []mountedSession) *http.ServeMux {
+	root := http.NewServeMux()
+	for _, rs := range servers {
+		root.Handle("/s/"+rs.name+"/", http.StripPrefix("/s/"+rs.name, rs.qs.handler()))
+	}
+	root.Handle("/", servers[0].qs.handler())
+	root.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		out := make([]sessionListing, len(servers))
+		for i, rs := range servers {
+			out[i] = sessionListing{Name: rs.name, Path: "/s/" + rs.name + "/", Config: rs.qs.config()}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return root
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// serveSpecs assembles the process's session list: a JSON -config file, a
+// repeated -session flag, or (neither given) the legacy single session the
+// plain serve flags describe. The process-level engine flags (-workers,
+// -queue, -shed, …) apply to the legacy session only; config/-session
+// entries carry their own knobs, whose zero values resolve to the same
+// defaults.
+func serveSpecs(configPath string, sessions stringList, legacy registry.ServerSpec) ([]registry.ServerSpec, error) {
+	if configPath != "" && len(sessions) > 0 {
+		return nil, errors.New("-config and -session are mutually exclusive")
+	}
+	if configPath != "" {
+		b, err := os.ReadFile(configPath)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		var specs []registry.ServerSpec
+		if err := dec.Decode(&specs); err != nil {
+			return nil, fmt.Errorf("config %s: %w", configPath, err)
+		}
+		return specs, nil
+	}
+	if len(sessions) > 0 {
+		specs := make([]registry.ServerSpec, len(sessions))
+		for i, s := range sessions {
+			spec, err := parseSessionFlag(s)
+			if err != nil {
+				return nil, fmt.Errorf("-session %q: %w", s, err)
+			}
+			specs[i] = spec
+		}
+		return specs, nil
+	}
+	return []registry.ServerSpec{legacy}, nil
+}
+
+// parseSessionFlag parses one -session value: comma-separated key=value
+// pairs naming the session and its spec.
+func parseSessionFlag(s string) (registry.ServerSpec, error) {
+	var spec registry.ServerSpec
+	for _, kv := range strings.Split(s, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("%q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "name":
+			spec.Name = v
+		case "dataset":
+			spec.Dataset = v
+		case "measure":
+			spec.Measure = v
+		case "backend":
+			spec.Backend = v
+		case "windows":
+			spec.Windows, err = strconv.Atoi(v)
+		case "windowlen", "window_len":
+			spec.WindowLen, err = strconv.Atoi(v)
+		case "lambda0":
+			spec.Lambda0, err = strconv.Atoi(v)
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "shard_lo":
+			spec.ShardLo, err = strconv.Atoi(v)
+		case "shard_hi":
+			spec.ShardHi, err = strconv.Atoi(v)
+		case "restore":
+			spec.Restore = v
+		case "workers":
+			spec.Workers, err = strconv.Atoi(v)
+		case "queue", "queue_depth":
+			spec.QueueDepth, err = strconv.Atoi(v)
+		case "shed":
+			spec.Shed = v
+		case "request_timeout":
+			spec.RequestTimeout, err = time.ParseDuration(v)
+		case "snapshot_interval":
+			spec.SnapshotInterval, err = time.ParseDuration(v)
+		case "snapshot_path":
+			spec.SnapshotPath = v
+		case "addr":
+			spec.Addr = v
+		default:
+			return spec, fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	if spec.Dataset == "" {
+		return spec, errors.New(`missing "dataset"`)
+	}
+	if spec.Windows == 0 {
+		spec.Windows = 2000
+	}
+	return spec, nil
 }
 
 // queryServer is the untyped face of a typedServer, mirroring how session
@@ -129,6 +337,11 @@ type typedServer[E any] struct {
 	mux      *http.ServeMux
 	start    time.Time
 	restored bool
+	// seqBase re-bases wire-level sequence IDs when this process serves
+	// one shard of a logical index (spec.ShardLo): the store numbers its
+	// local slice from 0, the wire reports global IDs, so a gateway can
+	// merge shard answers without remapping (see internal/shard).
+	seqBase int
 	// reqTimeout bounds each query request end to end (0: none); sched is
 	// the background snapshot loop (nil unless -snapshot-interval is set).
 	reqTimeout time.Duration
@@ -185,6 +398,7 @@ func (s *typedSession[E]) newServer(spec registry.ServerSpec, restore string) (q
 		pool:       st.NewQueryPool(cfg.Workers, core.WithQueueDepth(cfg.QueueDepth), core.WithShedPolicy(shed)),
 		start:      time.Now(),
 		restored:   restored,
+		seqBase:    spec.ShardLo,
 		reqTimeout: spec.RequestTimeout,
 		sweepStop:  make(chan struct{}),
 	}
@@ -214,6 +428,7 @@ func (s *typedSession[E]) newServer(spec registry.ServerSpec, restore string) (q
 	mux.HandleFunc("POST /query/longest", srv.handleLongest)
 	mux.HandleFunc("POST /query/nearest", srv.handleNearest)
 	mux.HandleFunc("POST /query/filter", srv.handleFilter)
+	mux.HandleFunc("POST /query/batch", srv.handleBatch)
 	mux.HandleFunc("POST /admin/append", srv.handleAppend)
 	mux.HandleFunc("POST /admin/retire", srv.handleRetire)
 	mux.HandleFunc("POST /admin/snapshot", srv.handleSnapshot)
@@ -268,6 +483,39 @@ func toWireMatch(m core.Match) wireMatch {
 	return wireMatch{SeqID: m.SeqID, QStart: m.QStart, QEnd: m.QEnd, XStart: m.XStart, XEnd: m.XEnd, Dist: m.Dist}
 }
 
+// wireMatch converts a store-local match to the wire, re-basing the
+// sequence ID into the global numbering when this process is a shard.
+func (srv *typedServer[E]) wireMatch(m core.Match) wireMatch {
+	wm := toWireMatch(m)
+	wm.SeqID += srv.seqBase
+	return wm
+}
+
+// wireHit converts a store-local filter hit to the wire, re-based like
+// wireMatch.
+func (srv *typedServer[E]) wireHit(h core.Hit[E]) wireHit {
+	return wireHit{
+		SeqID: h.Window.SeqID + srv.seqBase, WindowStart: h.Window.Start, WindowEnd: h.Window.End(),
+		SegStart: h.Segment.Start, SegEnd: h.Segment.End(),
+	}
+}
+
+// shardMatch is wireMatch's twin for the batch endpoint, which speaks the
+// shard package's wire envelopes (identical JSON, shared with the gateway).
+func (srv *typedServer[E]) shardMatch(m core.Match) shard.Match {
+	return shard.Match{
+		SeqID: m.SeqID + srv.seqBase, QStart: m.QStart, QEnd: m.QEnd,
+		XStart: m.XStart, XEnd: m.XEnd, Dist: m.Dist,
+	}
+}
+
+func (srv *typedServer[E]) shardHit(h core.Hit[E]) shard.Hit {
+	return shard.Hit{
+		SeqID: h.Window.SeqID + srv.seqBase, WindowStart: h.Window.Start, WindowEnd: h.Window.End(),
+		SegStart: h.Segment.Start, SegEnd: h.Segment.End(),
+	}
+}
+
 // wireHit is one filtered segment↔window pair.
 type wireHit struct {
 	SeqID       int `json:"seq_id"`
@@ -304,6 +552,14 @@ type statsResponse struct {
 		Verify int64 `json:"verify"`
 	} `json:"distance_calls"`
 	Stream core.StreamStats `json:"stream"`
+	// Batch tallies the batched-engine entry points: how many
+	// FilterHitsBatch calls ran (every batch kind funnels through it) and
+	// how many queries they carried. Queries/Calls is the amortisation
+	// ratio the batch endpoint exists to raise.
+	Batch struct {
+		Calls   int64 `json:"calls"`
+		Queries int64 `json:"queries"`
+	} `json:"batch"`
 	// Snapshots is the background snapshot scheduler's health; absent
 	// unless -snapshot-interval is set.
 	Snapshots *store.SchedulerStats `json:"snapshots,omitempty"`
@@ -341,8 +597,20 @@ const maxRequestBytes = 8 << 20
 
 // decodeQuery parses the request body and its element-typed query payload.
 func (srv *typedServer[E]) decodeQuery(w http.ResponseWriter, r *http.Request) (queryRequest, seq.Sequence[E], error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		return queryRequest{}, nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return parseQueryRequest[E](body)
+}
+
+// parseQueryRequest is decodeQuery without the HTTP plumbing: the whole
+// untrusted-input surface of a /query/* request in one pure function, so
+// it can be fuzzed directly (FuzzParseQueryRequest). It must never panic;
+// any malformed body must come back as an error.
+func parseQueryRequest[E any](body []byte) (queryRequest, seq.Sequence[E], error) {
 	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return req, nil, fmt.Errorf("invalid request body: %w", err)
@@ -362,6 +630,12 @@ func (srv *typedServer[E]) decodeQuery(w http.ResponseWriter, r *http.Request) (
 // pairs for point2 — matching how the dataset families are described in
 // `subseqctl list`.
 func decodeSeq[E any](raw json.RawMessage) (seq.Sequence[E], error) {
+	// json.Unmarshal treats null as a no-op for every target type here, so
+	// without this guard a null query would decode into a nil sequence
+	// with no error (found by FuzzParseQueryRequest).
+	if string(raw) == "null" {
+		return nil, errors.New(`"query" must not be null`)
+	}
 	switch any((*E)(nil)).(type) {
 	case *byte:
 		var s string
@@ -472,7 +746,7 @@ func (srv *typedServer[E]) handleFindAll(w http.ResponseWriter, r *http.Request)
 	}
 	resp := matchesResponse{Count: len(ms), Matches: make([]wireMatch, len(ms))}
 	for i, m := range ms {
-		resp.Matches[i] = toWireMatch(m)
+		resp.Matches[i] = srv.wireMatch(m)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -497,7 +771,7 @@ func (srv *typedServer[E]) handleLongest(w http.ResponseWriter, r *http.Request)
 	}
 	resp := bestResponse{Found: res.Found}
 	if res.Found {
-		m := toWireMatch(res.Match)
+		m := srv.wireMatch(res.Match)
 		resp.Match = &m
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -530,7 +804,7 @@ func (srv *typedServer[E]) handleNearest(w http.ResponseWriter, r *http.Request)
 	}
 	resp := bestResponse{Found: res.Found}
 	if res.Found {
-		m := toWireMatch(res.Match)
+		m := srv.wireMatch(res.Match)
 		resp.Match = &m
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -556,9 +830,82 @@ func (srv *typedServer[E]) handleFilter(w http.ResponseWriter, r *http.Request) 
 	}
 	resp := hitsResponse{Count: len(hits), Hits: make([]wireHit, len(hits))}
 	for i, h := range hits {
-		resp.Hits[i] = wireHit{
-			SeqID: h.Window.SeqID, WindowStart: h.Window.Start, WindowEnd: h.Window.End(),
-			SegStart: h.Segment.Start, SegEnd: h.Segment.End(),
+		resp.Hits[i] = srv.wireHit(h)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch answers POST /query/batch: many queries of one kind in one
+// request, fed to the matcher's batched entry points so they share index
+// traversals (Section 7's many-queries-one-traversal path). Batches
+// deliberately bypass the streaming pool — the pool's coalescing would
+// re-chunk the batch, and the request already is the batch — and instead
+// pin the store's current matcher through its view guard for the call.
+func (srv *typedServer[E]) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req shard.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if !shard.ValidBatchKind(req.Kind) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(`"kind" must be findall, longest or filter, got %q`, req.Kind))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`"queries" must not be empty`))
+		return
+	}
+	if req.Eps == nil {
+		writeErr(w, http.StatusBadRequest, errors.New(`missing "eps"`))
+		return
+	}
+	if *req.Eps < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New(`"eps" must be >= 0`))
+		return
+	}
+	qs := make([]seq.Sequence[E], len(req.Queries))
+	for i, raw := range req.Queries {
+		q, err := decodeSeq[E](raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	mt, release := srv.st.View()
+	defer release()
+	resp := shard.BatchResponse{Kind: req.Kind, Count: len(qs)}
+	switch req.Kind {
+	case "findall":
+		per := mt.FindAllBatch(qs, *req.Eps)
+		resp.Matches = make([][]shard.Match, len(per))
+		for i, ms := range per {
+			out := make([]shard.Match, len(ms))
+			for j, m := range ms {
+				out[j] = srv.shardMatch(m)
+			}
+			resp.Matches[i] = out
+		}
+	case "longest":
+		ms, found := mt.LongestBatch(qs, *req.Eps)
+		resp.Best = make([]shard.BestResult, len(ms))
+		for i := range ms {
+			if found[i] {
+				m := srv.shardMatch(ms[i])
+				resp.Best[i] = shard.BestResult{Found: true, Match: &m}
+			}
+		}
+	case "filter":
+		per := mt.FilterHitsBatch(qs, *req.Eps)
+		resp.Hits = make([][]shard.Hit, len(per))
+		for i, hs := range per {
+			out := make([]shard.Hit, len(hs))
+			for j, h := range hs {
+				out[j] = srv.shardHit(h)
+			}
+			resp.Hits[i] = out
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -577,6 +924,8 @@ func (srv *typedServer[E]) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.DistanceCalls.Build = mt.BuildDistanceCalls()
 	resp.DistanceCalls.Filter = mt.FilterDistanceCalls()
 	resp.DistanceCalls.Verify = mt.VerifyDistanceCalls()
+	resp.Batch.Calls = mt.BatchCalls()
+	resp.Batch.Queries = mt.BatchQueries()
 	if srv.sched != nil {
 		ss := srv.sched.Stats()
 		resp.Snapshots = &ss
@@ -646,7 +995,7 @@ func (srv *typedServer[E]) handleAppend(w http.ResponseWriter, r *http.Request) 
 	}
 	_, live := srv.st.Len()
 	writeJSON(w, http.StatusOK, appendResponse{
-		SeqID: res.SeqID, WindowsAdded: res.Windows,
+		SeqID: res.SeqID + srv.seqBase, WindowsAdded: res.Windows,
 		NumWindows: srv.st.Matcher().NumWindows(), LiveSequences: live,
 	})
 }
@@ -673,7 +1022,15 @@ func (srv *typedServer[E]) handleRetire(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusBadRequest, errors.New(`missing "seq_id"`))
 		return
 	}
-	removed, err := srv.st.Retire(*req.SeqID)
+	// The wire speaks global sequence IDs; the store numbers this shard's
+	// slice from 0.
+	local := *req.SeqID - srv.seqBase
+	if local < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf(
+			"sequence %d is not owned by this shard (its range starts at %d)", *req.SeqID, srv.seqBase))
+		return
+	}
+	removed, err := srv.st.Retire(local)
 	switch {
 	case errors.Is(err, core.ErrRetireUnsupported):
 		// The backend cannot do it at all — a capability conflict, not a

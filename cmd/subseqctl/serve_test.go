@@ -734,11 +734,18 @@ func buildSubseqctl(t *testing.T) string {
 }
 
 // startServeBinary starts `bin serve args...` and scrapes the bound
-// address from its stdout, draining the rest of the pipe in the
-// background.
+// address from its stdout.
 func startServeBinary(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	return startBinary(t, bin, "serve", args...)
+}
+
+// startBinary starts `bin sub args...` and scrapes the bound address
+// ("on http://…", printed by both serve and gateway) from its stdout,
+// draining the rest of the pipe in the background.
+func startBinary(t *testing.T, bin, sub string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{sub}, args...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

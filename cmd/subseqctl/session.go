@@ -100,6 +100,21 @@ func buildSession[E any](spec registry.SessionSpec) (session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Sharded() {
+		// One shard of the logical index: generation is deterministic per
+		// (dataset, windows, window_len, seed), so every shard process
+		// derives the same logical whole and keeps only its slice of whole
+		// sequences. Matches never span sequences, which is what makes the
+		// scatter-gather merge exact (see internal/shard). Wire-level
+		// sequence IDs are re-based by ShardLo in serve.go, so shards
+		// report global numbering.
+		if spec.ShardHi > len(ds.Sequences) {
+			return nil, fmt.Errorf("shard range [%d,%d) exceeds the dataset's %d sequences (windows=%d at windowlen=%d generates %d sequences)",
+				spec.ShardLo, spec.ShardHi, len(ds.Sequences), spec.Windows, spec.WindowLen, len(ds.Sequences))
+		}
+		ds.Sequences = ds.Sequences[spec.ShardLo:spec.ShardHi]
+		ds.Windows = seq.PartitionAll(ds.Sequences, spec.WindowLen)
+	}
 	mut, err := registry.QueryMutator[E](spec.Dataset)
 	if err != nil {
 		return nil, err
@@ -111,9 +126,13 @@ func buildSession[E any](spec registry.SessionSpec) (session, error) {
 }
 
 func (s *typedSession[E]) describe() string {
-	return fmt.Sprintf("dataset=%s windows=%d measure=%s backend=%s lambda=%d lambda0=%d",
+	d := fmt.Sprintf("dataset=%s windows=%d measure=%s backend=%s lambda=%d lambda0=%d",
 		s.spec.Dataset, len(s.ds.Windows), s.minfo.Name, s.backend.Name,
 		2*s.spec.WindowLen, s.lambda0)
+	if s.spec.Sharded() {
+		d += fmt.Sprintf(" shard=[%d,%d)", s.spec.ShardLo, s.spec.ShardHi)
+	}
+	return d
 }
 
 func (s *typedSession[E]) numWindows() int { return len(s.ds.Windows) }

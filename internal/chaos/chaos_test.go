@@ -3,7 +3,6 @@ package chaos
 import (
 	"context"
 	"errors"
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -39,11 +38,12 @@ func scale(n int) int {
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
+	base := LogSeedOnFailure(t)
 	windows := 300
 	if testing.Short() {
 		windows = 120
 	}
-	ds := data.Proteins(windows, 20, 1)
+	ds := data.Proteins(windows, 20, base)
 	f := &Faults{}
 	// The bit-parallel Levenshtein keeps evaluation cheap so the suite's
 	// wall clock is spent on injected faults, not on pricing.
@@ -56,7 +56,7 @@ func newHarness(t *testing.T) *harness {
 	}
 	qs := make([]seq.Sequence[byte], 8)
 	for i := range qs {
-		qs[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, uint64(100+i))
+		qs[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, base+uint64(100+i))
 	}
 	return &harness{faults: f, mt: mt, qs: qs, want: mt.FindAllBatch(qs, chaosEps)}
 }
@@ -262,9 +262,9 @@ func TestChaosCancelStorm(t *testing.T) {
 	var bad atomic.Int64
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
+		rng := NewRand(t, uint64(g))
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(uint64(g), uint64(g*37)))
 			for i := 0; i < scale(8); i++ {
 				qi := (g + i) % len(h.qs)
 				ctx, cancel := context.WithCancel(context.Background())
@@ -312,9 +312,9 @@ func TestChaosEverything(t *testing.T) {
 	var bad atomic.Int64
 	for g := 0; g < 9; g++ {
 		wg.Add(1)
+		rng := NewRand(t, uint64(100+g))
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewPCG(uint64(g+1), uint64(g*53)))
 			tenant := tenants[g%len(tenants)]
 			for i := 0; i < scale(16); i++ {
 				qi := (g + i) % len(h.qs)

@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// Every randomized chaos scenario draws its randomness from a single base
+// seed so a failing run can be replayed exactly: set CHAOS_SEED to the
+// value a failure logged (or to any number) to pin the whole suite —
+// query generation, kill timing, cancellation schedules — to that run.
+
+// EnvSeed is the environment variable that pins the suite's base seed.
+const EnvSeed = "CHAOS_SEED"
+
+// defaultSeed keeps unpinned runs deterministic too: CI failures are
+// reproducible locally without capturing anything from the log.
+const defaultSeed = 1
+
+var (
+	seedOnce sync.Once
+	seedVal  uint64
+	seedErr  error
+)
+
+// BaseSeed returns the suite's base seed: CHAOS_SEED when set (a decimal
+// uint64), defaultSeed otherwise. A malformed CHAOS_SEED fails the test
+// loudly instead of silently running an unreproducible schedule.
+func BaseSeed(tb testing.TB) uint64 {
+	seedOnce.Do(func() {
+		s := os.Getenv(EnvSeed)
+		if s == "" {
+			seedVal = defaultSeed
+			return
+		}
+		seedVal, seedErr = strconv.ParseUint(s, 10, 64)
+	})
+	if seedErr != nil {
+		tb.Fatalf("chaos: %s=%q is not a uint64: %v", EnvSeed, os.Getenv(EnvSeed), seedErr)
+	}
+	return seedVal
+}
+
+// LogSeedOnFailure registers a cleanup that names the base seed when the
+// test fails, and returns it. Call once per scenario — including ones
+// whose only randomness is query generation — so every chaos failure ends
+// with the line that replays it.
+func LogSeedOnFailure(tb testing.TB) uint64 {
+	seed := BaseSeed(tb)
+	tb.Cleanup(func() {
+		if tb.Failed() {
+			tb.Logf("chaos: failing run used base seed %d; rerun with %s=%d to reproduce",
+				seed, EnvSeed, seed)
+		}
+	})
+	return seed
+}
+
+// NewRand returns a PCG stream derived from the base seed. Distinct
+// streams (one per goroutine, scenario, or phase) stay independent under
+// one base seed.
+func NewRand(tb testing.TB, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(LogSeedOnFailure(tb), stream))
+}

@@ -26,6 +26,8 @@ import (
 // sharing one index traversal across all of their segments on backends
 // that support it. Result i is exactly FilterHits(qs[i], eps).
 func (mt *Matcher[E]) FilterHitsBatch(qs []seq.Sequence[E], eps float64) [][]Hit[E] {
+	mt.batchCalls.Add(1)
+	mt.batchQueries.Add(int64(len(qs)))
 	out := make([][]Hit[E], len(qs))
 	br, ok := mt.index.(batchRanger[E])
 	if !ok || mt.linear != nil {

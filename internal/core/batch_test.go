@@ -231,3 +231,29 @@ func TestIncrementalFilterMatchesPlain(t *testing.T) {
 		}
 	}
 }
+
+// The batch tallies are the serving tier's proof of amortisation: every
+// FilterHitsBatch call (direct or via FindAllBatch/LongestBatch) counts
+// once, with the number of queries it carried.
+func TestBatchTallies(t *testing.T) {
+	p := Params{Lambda: 6, Lambda0: 1}
+	lev := dist.LevenshteinMeasure[byte]()
+	rng := rand.New(rand.NewPCG(9, 900))
+	db, qs := batchQueries(rng, 4)
+	mt, err := NewMatcher(lev, Config{Params: p, Index: IndexRefNet}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.BatchCalls() != 0 || mt.BatchQueries() != 0 {
+		t.Fatalf("fresh matcher has tallies: %d/%d", mt.BatchCalls(), mt.BatchQueries())
+	}
+	mt.FilterHitsBatch(qs, 0.5)
+	if mt.BatchCalls() != 1 || mt.BatchQueries() != 4 {
+		t.Fatalf("after FilterHitsBatch: calls=%d queries=%d, want 1/4", mt.BatchCalls(), mt.BatchQueries())
+	}
+	mt.FindAllBatch(qs[:2], 0.5)
+	mt.LongestBatch(qs[:3], 0.5)
+	if mt.BatchCalls() != 3 || mt.BatchQueries() != 9 {
+		t.Fatalf("after FindAllBatch+LongestBatch: calls=%d queries=%d, want 3/9", mt.BatchCalls(), mt.BatchQueries())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/covertree"
 	"repro/internal/dist"
@@ -96,6 +97,12 @@ type Matcher[E any] struct {
 	// scratch pools per-query filter state (segment, probe and hit slices)
 	// so concurrent queries allocate nothing per segment.
 	scratch sync.Pool
+	// batchCalls/batchQueries count FilterHitsBatch invocations and the
+	// queries they carried — the serving tier's proof that its batch
+	// endpoint actually amortises (many queries per shared traversal),
+	// surfaced on /stats.
+	batchCalls   atomic.Int64
+	batchQueries atomic.Int64
 
 	// prepared holds, per indexed window, the shared immutable half of the
 	// measure's incremental kernel (Myers peq tables, edit base rows),
@@ -249,6 +256,14 @@ func (mt *Matcher[E]) FilterDistanceCalls() int64 { return mt.counter.Calls() }
 
 // ResetFilterCalls zeroes the query-side distance counter.
 func (mt *Matcher[E]) ResetFilterCalls() { mt.counter.Reset() }
+
+// BatchCalls reports how many times FilterHitsBatch ran (directly or via
+// FindAllBatch/LongestBatch/the streaming pool's claimed runs).
+func (mt *Matcher[E]) BatchCalls() int64 { return mt.batchCalls.Load() }
+
+// BatchQueries reports the total queries those batch calls carried;
+// BatchQueries/BatchCalls is the realised amortisation factor.
+func (mt *Matcher[E]) BatchQueries() int64 { return mt.batchQueries.Load() }
 
 // VerifyDistanceCalls reports distance computations spent in verification
 // (step 5) since the matcher was built.

@@ -257,8 +257,51 @@ func (v *verifier[E]) verifyAll(q seq.Sequence[E], hits []Hit[E], eps float64) [
 	return out
 }
 
+// canonicalBefore is the canonical total order on matches — ascending
+// coordinates, the order verifyAll sorts by. Distinct pairs never share
+// all five coordinates, so the order is strict; it is the final
+// tie-break that makes every query answer a pure function of the
+// candidate set rather than of traversal order, which is what lets a
+// sharded fleet (internal/shard) reproduce a single node's answer
+// bit for bit.
+func canonicalBefore(a, b Match) bool {
+	if a.SeqID != b.SeqID {
+		return a.SeqID < b.SeqID
+	}
+	if a.XStart != b.XStart {
+		return a.XStart < b.XStart
+	}
+	if a.XEnd != b.XEnd {
+		return a.XEnd < b.XEnd
+	}
+	if a.QStart != b.QStart {
+		return a.QStart < b.QStart
+	}
+	return a.QEnd < b.QEnd
+}
+
+// nearestBefore orders Type III answers: smaller distance wins, equal
+// distances resolve canonically.
+func nearestBefore(a, b Match) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return canonicalBefore(a, b)
+}
+
+// longestBefore orders Type II answers: longer query span wins, then
+// smaller distance, then the canonical order.
+func longestBefore(a, b Match) bool {
+	if a.QLen() != b.QLen() {
+		return a.QLen() > b.QLen()
+	}
+	return nearestBefore(a, b)
+}
+
 // verifyNearest implements query Type III verification: the minimum
 // distance pair within the run regions, if any pair is within eps.
+// Distance ties resolve canonically (nearestBefore), never by traversal
+// order.
 func (v *verifier[E]) verifyNearest(q seq.Sequence[E], hits []Hit[E], eps float64) (Match, bool) {
 	sc := v.getScratch()
 	defer v.putScratch(sc)
@@ -274,9 +317,11 @@ func (v *verifier[E]) verifyNearest(q seq.Sequence[E], hits []Hit[E], eps float6
 			}
 			seen[k] = true
 			d := v.dist(q[qs:qe], x[xs:xe])
-			if d <= eps && (!found || d < best.Dist) {
-				best = Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
-				found = true
+			if d <= eps {
+				m := Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
+				if !found || nearestBefore(m, best) {
+					best, found = m, true
+				}
 			}
 			return true
 		})
@@ -302,23 +347,28 @@ func (v *verifier[E]) verifyLongest(q seq.Sequence[E], hits []Hit[E], eps float6
 	found := false
 	for _, r := range regions {
 		ub := r.qlenUpper()
-		if found && ub <= best.QLen() {
+		if found && ub < best.QLen() {
 			break // regions are sorted by upper bound
 		}
 		x := v.db[r.seqID]
-		// Enumerate candidate |SQ| from largest to smallest; the first
-		// verified pair is this region's longest.
+		// Enumerate candidate |SQ| from largest to smallest. The first
+		// verified length is the answer's, but that whole length level is
+		// still finished — here and in every region whose bound can tie —
+		// so equal-length ties resolve canonically (longestBefore: smaller
+		// distance, then lower coordinates) instead of by traversal order.
+		// A topology-independent answer is what lets the sharded tier
+		// (internal/shard) merge per-shard longest matches bit-identically
+		// to a single node.
 		for qlen := ub; qlen >= v.p.Lambda; qlen-- {
-			if found && qlen <= best.QLen() {
+			if found && qlen < best.QLen() {
 				break
 			}
-			matched := false
-			for qs := r.qsMin; qs <= r.qsMax && !matched; qs++ {
+			for qs := r.qsMin; qs <= r.qsMax; qs++ {
 				qe := qs + qlen
 				if qe < r.qeMin || qe > r.qeMax {
 					continue
 				}
-				for xs := r.xsMin; xs <= r.xsMax && !matched; xs++ {
+				for xs := r.xsMin; xs <= r.xsMax; xs++ {
 					xeLo := clamp(qlen-v.p.Lambda0+xs, r.xeMin, r.xeMax+1)
 					xeHi := clamp(qlen+v.p.Lambda0+xs, r.xeMin-1, r.xeMax)
 					for xe := xeLo; xe <= xeHi; xe++ {
@@ -331,15 +381,16 @@ func (v *verifier[E]) verifyLongest(q seq.Sequence[E], hits []Hit[E], eps float6
 						}
 						seen[k] = true
 						if d := v.dist(q[qs:qe], x[xs:xe]); d <= eps {
-							best = Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
-							found, matched = true, true
-							break
+							m := Match{SeqID: r.seqID, QStart: qs, QEnd: qe, XStart: xs, XEnd: xe, Dist: d}
+							if !found || longestBefore(m, best) {
+								best, found = m, true
+							}
 						}
 					}
 				}
 			}
-			if matched {
-				break
+			if found && qlen == best.QLen() {
+				break // the winning length level is fully enumerated
 			}
 		}
 	}

@@ -1,0 +1,584 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Gateway is the scatter-gather front end: one HTTP handler speaking the
+// single-node serving protocol upstream, fanning every query out to the
+// shard serve processes downstream and merging their answers
+// deterministically (merge.go). It never decodes query payloads — the
+// request body is forwarded to every shard verbatim — so one gateway
+// binary fronts byte, float64 and point2 sessions alike.
+//
+// Failure semantics: a shard that answers 4xx has judged the request
+// itself malformed; since every shard shares the session spec, the first
+// such verdict is returned to the client verbatim. A shard that cannot
+// answer at all (transport error, 5xx, or still shedding after the retry
+// budget) is recorded as a ShardFailure; the merged response then
+// carries a Degradation block naming the blind spots. Only when no
+// shard answers does the gateway fail the request (502).
+
+// PostFunc issues a POST with a JSON body, returning the response. The
+// bounded-retry client in cmd/subseqctl satisfies this; tests inject
+// httptest-backed functions.
+type PostFunc func(ctx context.Context, url string, body []byte) (*http.Response, error)
+
+// GetFunc issues a GET (stats, healthz probes).
+type GetFunc func(ctx context.Context, url string) (*http.Response, error)
+
+// maxGatewayBody caps an incoming request body, mirroring the serve
+// process's own cap so the gateway never buffers what a shard would
+// refuse anyway.
+const maxGatewayBody = 8 << 20
+
+// Gateway fans queries out over a Plan's shards. Construct with
+// NewGateway; serve Handler().
+type Gateway struct {
+	plan  Plan
+	urls  []string
+	post  PostFunc
+	get   GetFunc
+	mux   *http.ServeMux
+	start time.Time
+
+	queries     atomic.Int64
+	batches     atomic.Int64
+	degraded    atomic.Int64
+	shardErrors atomic.Int64
+}
+
+// GatewayOption customises NewGateway.
+type GatewayOption func(*Gateway)
+
+// WithPost injects the POST transport (e.g. the bounded-retry client).
+func WithPost(p PostFunc) GatewayOption { return func(g *Gateway) { g.post = p } }
+
+// WithGet injects the GET transport.
+func WithGet(get GetFunc) GatewayOption { return func(g *Gateway) { g.get = get } }
+
+// NewGateway builds a gateway over plan whose i-th shard serves at
+// urls[i] (scheme://host:port, no trailing slash needed). The URL list
+// must match the plan's ranges one to one.
+func NewGateway(plan Plan, urls []string, opts ...GatewayOption) (*Gateway, error) {
+	if len(urls) != len(plan.Ranges) {
+		return nil, fmt.Errorf("shard: plan has %d ranges but %d shard URLs were given", len(plan.Ranges), len(urls))
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("shard: gateway needs at least one shard")
+	}
+	clean := make([]string, len(urls))
+	for i, u := range urls {
+		if u == "" {
+			return nil, fmt.Errorf("shard: shard %d has an empty URL", i)
+		}
+		clean[i] = strings.TrimRight(u, "/")
+	}
+	g := &Gateway{plan: plan, urls: clean, start: time.Now()}
+	for _, o := range opts {
+		o(g)
+	}
+	if g.post == nil {
+		g.post = func(ctx context.Context, url string, body []byte) (*http.Response, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return http.DefaultClient.Do(req)
+		}
+	}
+	if g.get == nil {
+		g.get = func(ctx context.Context, url string) (*http.Response, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return nil, err
+			}
+			return http.DefaultClient.Do(req)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query/findall", g.handleFindAll)
+	mux.HandleFunc("POST /query/longest", func(w http.ResponseWriter, r *http.Request) { g.handleBest(w, r, "longest", BestLongest) })
+	mux.HandleFunc("POST /query/nearest", func(w http.ResponseWriter, r *http.Request) { g.handleBest(w, r, "nearest", BestNearest) })
+	mux.HandleFunc("POST /query/filter", g.handleFilter)
+	mux.HandleFunc("POST /query/batch", g.handleBatch)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux = mux
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Plan returns the partition the gateway scatters over.
+func (g *Gateway) Plan() Plan { return g.plan }
+
+// --- scatter ---
+
+// shardReply is one shard's raw answer: body + status on HTTP delivery,
+// err on transport failure.
+type shardReply struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// scatter POSTs body to path on every shard concurrently and collects
+// the raw replies in shard order.
+func (g *Gateway) scatter(ctx context.Context, path string, body []byte) []shardReply {
+	replies := make([]shardReply, len(g.urls))
+	var wg sync.WaitGroup
+	for i, base := range g.urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			resp, err := g.post(ctx, url, body)
+			if err != nil {
+				replies[i] = shardReply{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(io.LimitReader(resp.Body, maxGatewayBody))
+			if err != nil {
+				replies[i] = shardReply{err: fmt.Errorf("reading shard response: %w", err)}
+				return
+			}
+			replies[i] = shardReply{status: resp.StatusCode, body: b}
+		}(i, base+path)
+	}
+	wg.Wait()
+	return replies
+}
+
+// shardErrorText extracts the serve process's error message from an
+// error-envelope body, falling back to the raw body.
+func shardErrorText(body []byte) string {
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	s := strings.TrimSpace(string(body))
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// classify splits raw replies into per-shard successes (decoded into
+// fresh values of T), the first client-error reply to pass through
+// verbatim (nil if none), and the shard failures. ok[i] is nil for a
+// failed shard.
+func classify[T any](g *Gateway, replies []shardReply) (ok []*T, passThrough *shardReply, deg *Degradation) {
+	ok = make([]*T, len(replies))
+	var failures []ShardFailure
+	for i, rep := range replies {
+		switch {
+		case rep.err != nil:
+			failures = append(failures, ShardFailure{
+				Shard: i, Range: g.plan.Ranges[i], Addr: g.urls[i], Error: rep.err.Error(),
+			})
+		case rep.status >= 400 && rep.status < 500:
+			// The request itself is bad; every shard shares the session
+			// spec, so the first verdict speaks for the fleet.
+			if passThrough == nil {
+				r := rep
+				passThrough = &r
+			}
+		case rep.status != http.StatusOK:
+			failures = append(failures, ShardFailure{
+				Shard: i, Range: g.plan.Ranges[i], Addr: g.urls[i],
+				Status: rep.status, Error: shardErrorText(rep.body),
+			})
+		default:
+			var v T
+			if err := json.Unmarshal(rep.body, &v); err != nil {
+				failures = append(failures, ShardFailure{
+					Shard: i, Range: g.plan.Ranges[i], Addr: g.urls[i],
+					Status: rep.status, Error: fmt.Sprintf("undecodable response: %v", err),
+				})
+				continue
+			}
+			ok[i] = &v
+		}
+	}
+	if len(failures) > 0 {
+		deg = &Degradation{Degraded: true, Failures: failures}
+	}
+	return ok, passThrough, deg
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// passVerbatim relays a shard's client-error reply unchanged.
+func passVerbatim(w http.ResponseWriter, rep *shardReply) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+}
+
+// allFailed answers when no shard produced a result at all: the gateway
+// has nothing to merge, so the request fails with the failures named.
+func (g *Gateway) allFailed(w http.ResponseWriter, deg *Degradation) {
+	msgs := make([]string, len(deg.Failures))
+	for i, f := range deg.Failures {
+		msgs[i] = f.String()
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("all shards failed: %s", strings.Join(msgs, "; ")))
+}
+
+// readBody buffers the request body for fan-out.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxGatewayBody))
+}
+
+// gather runs the shared scatter/classify/accounting choreography and
+// hands the per-shard successes plus degradation to merge; merge is only
+// called when at least one shard answered. Returns false when gather
+// already wrote the response (pass-through or total failure).
+func gather[T any](g *Gateway, w http.ResponseWriter, r *http.Request, path string) ([]*T, *Degradation, bool) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	g.queries.Add(1)
+	replies := g.scatter(r.Context(), path, body)
+	ok, passThrough, deg := classify[T](g, replies)
+	if deg != nil {
+		g.shardErrors.Add(int64(len(deg.Failures)))
+	}
+	if passThrough != nil {
+		passVerbatim(w, passThrough)
+		return nil, nil, false
+	}
+	answered := 0
+	for _, v := range ok {
+		if v != nil {
+			answered++
+		}
+	}
+	if answered == 0 {
+		if deg == nil {
+			// Unreachable by construction (no pass-through, no success, no
+			// failure would mean zero shards), but fail loudly if it happens.
+			writeError(w, http.StatusBadGateway, errors.New("no shard produced a response"))
+			return nil, nil, false
+		}
+		g.allFailed(w, deg)
+		return nil, nil, false
+	}
+	if deg != nil {
+		g.degraded.Add(1)
+	}
+	return ok, deg, true
+}
+
+// --- query handlers ---
+
+func (g *Gateway) handleFindAll(w http.ResponseWriter, r *http.Request) {
+	ok, deg, proceed := gather[MatchesResponse](g, w, r, "/query/findall")
+	if !proceed {
+		return
+	}
+	lists := make([][]Match, 0, len(ok))
+	for _, resp := range ok {
+		if resp != nil {
+			lists = append(lists, resp.Matches)
+		}
+	}
+	merged := MergeMatches(lists)
+	writeJSON(w, http.StatusOK, MatchesResponse{Count: len(merged), Matches: merged, Degradation: deg})
+}
+
+func (g *Gateway) handleFilter(w http.ResponseWriter, r *http.Request) {
+	ok, deg, proceed := gather[HitsResponse](g, w, r, "/query/filter")
+	if !proceed {
+		return
+	}
+	lists := make([][]Hit, 0, len(ok))
+	for _, resp := range ok {
+		if resp != nil {
+			lists = append(lists, resp.Hits)
+		}
+	}
+	merged := MergeHits(lists)
+	writeJSON(w, http.StatusOK, HitsResponse{Count: len(merged), Hits: merged, Degradation: deg})
+}
+
+func (g *Gateway) handleBest(w http.ResponseWriter, r *http.Request, kind string, best func([]*Match) *Match) {
+	ok, deg, proceed := gather[BestResponse](g, w, r, "/query/"+kind)
+	if !proceed {
+		return
+	}
+	cands := make([]*Match, 0, len(ok))
+	for _, resp := range ok {
+		if resp != nil && resp.Found {
+			cands = append(cands, resp.Match)
+		}
+	}
+	b := best(cands)
+	writeJSON(w, http.StatusOK, BestResponse{Found: b != nil, Match: b, Degradation: deg})
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Peek at the envelope to learn the kind and query count; the body is
+	// still forwarded verbatim so shards do their own full validation.
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid batch request: %w", err))
+		return
+	}
+	if !ValidBatchKind(req.Kind) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch kind must be findall, longest or filter, got %q", req.Kind))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`"queries" must be non-empty`))
+		return
+	}
+	n := len(req.Queries)
+	g.batches.Add(1)
+	g.queries.Add(int64(n))
+	replies := g.scatter(r.Context(), "/query/batch", body)
+	ok, passThrough, deg := classify[BatchResponse](g, replies)
+	if deg != nil {
+		g.shardErrors.Add(int64(len(deg.Failures)))
+	}
+	if passThrough != nil {
+		passVerbatim(w, passThrough)
+		return
+	}
+	// A shard whose answer doesn't line up query-for-query is a protocol
+	// violation; demote it to a failure rather than misattributing results.
+	var answered []*BatchResponse
+	for i, resp := range ok {
+		if resp == nil {
+			continue
+		}
+		bad := resp.Kind != req.Kind || resp.Count != n ||
+			(req.Kind == "findall" && len(resp.Matches) != n) ||
+			(req.Kind == "longest" && len(resp.Best) != n) ||
+			(req.Kind == "filter" && len(resp.Hits) != n)
+		if bad {
+			if deg == nil {
+				deg = &Degradation{Degraded: true}
+			}
+			deg.Failures = append(deg.Failures, ShardFailure{
+				Shard: i, Range: g.plan.Ranges[i], Addr: g.urls[i], Status: http.StatusOK,
+				Error: fmt.Sprintf("batch answer mismatch: kind %q count %d (want %q × %d)", resp.Kind, resp.Count, req.Kind, n),
+			})
+			g.shardErrors.Add(1)
+			continue
+		}
+		answered = append(answered, resp)
+	}
+	if len(answered) == 0 {
+		g.allFailed(w, deg)
+		return
+	}
+	if deg != nil {
+		g.degraded.Add(1)
+	}
+	out := BatchResponse{Kind: req.Kind, Count: n, Degradation: deg}
+	switch req.Kind {
+	case "findall":
+		out.Matches = make([][]Match, n)
+		for q := 0; q < n; q++ {
+			lists := make([][]Match, len(answered))
+			for s, resp := range answered {
+				lists[s] = resp.Matches[q]
+			}
+			out.Matches[q] = MergeMatches(lists)
+		}
+	case "filter":
+		out.Hits = make([][]Hit, n)
+		for q := 0; q < n; q++ {
+			lists := make([][]Hit, len(answered))
+			for s, resp := range answered {
+				lists[s] = resp.Hits[q]
+			}
+			out.Hits[q] = MergeHits(lists)
+		}
+	case "longest":
+		out.Best = make([]BestResult, n)
+		for q := 0; q < n; q++ {
+			cands := make([]*Match, 0, len(answered))
+			for _, resp := range answered {
+				if resp.Best[q].Found {
+					cands = append(cands, resp.Best[q].Match)
+				}
+			}
+			b := BestLongest(cands)
+			out.Best[q] = BestResult{Found: b != nil, Match: b}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- stats & health ---
+
+// ShardStats is one shard's slice of the merged /stats: its raw stats
+// document when reachable, the error otherwise.
+type ShardStats struct {
+	Shard int             `json:"shard"`
+	Range Range           `json:"range"`
+	Addr  string          `json:"addr"`
+	OK    bool            `json:"ok"`
+	Stats json.RawMessage `json:"stats,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// StatsTotals sums the additive counters across reachable shards.
+type StatsTotals struct {
+	NumWindows    int `json:"num_windows"`
+	DistanceCalls struct {
+		Build  int64 `json:"build"`
+		Filter int64 `json:"filter"`
+		Verify int64 `json:"verify"`
+	} `json:"distance_calls"`
+}
+
+// GatewayCounters is the gateway's own request accounting.
+type GatewayCounters struct {
+	Queries     int64 `json:"queries"`
+	Batches     int64 `json:"batches"`
+	Degraded    int64 `json:"degraded"`
+	ShardErrors int64 `json:"shard_errors"`
+}
+
+// GatewayStatsResponse is GET /stats on the gateway: the plan, each
+// shard's own stats verbatim, cross-shard totals, and the gateway's
+// counters.
+type GatewayStatsResponse struct {
+	Plan          Plan            `json:"plan"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Shards        []ShardStats    `json:"shards"`
+	Totals        StatsTotals     `json:"totals"`
+	Gateway       GatewayCounters `json:"gateway"`
+	Degradation   *Degradation    `json:"degradation,omitempty"`
+}
+
+// statsSubset is the additive slice of a shard's stats document.
+type statsSubset struct {
+	NumWindows    int `json:"num_windows"`
+	DistanceCalls struct {
+		Build  int64 `json:"build"`
+		Filter int64 `json:"filter"`
+		Verify int64 `json:"verify"`
+	} `json:"distance_calls"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := GatewayStatsResponse{
+		Plan:          g.plan,
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		Shards:        make([]ShardStats, len(g.urls)),
+		Gateway: GatewayCounters{
+			Queries:     g.queries.Load(),
+			Batches:     g.batches.Load(),
+			Degraded:    g.degraded.Load(),
+			ShardErrors: g.shardErrors.Load(),
+		},
+	}
+	var wg sync.WaitGroup
+	for i, base := range g.urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			ss := ShardStats{Shard: i, Range: g.plan.Ranges[i], Addr: g.urls[i]}
+			res, err := g.get(r.Context(), url)
+			if err != nil {
+				ss.Error = err.Error()
+			} else {
+				defer res.Body.Close()
+				b, rerr := io.ReadAll(io.LimitReader(res.Body, maxGatewayBody))
+				switch {
+				case rerr != nil:
+					ss.Error = rerr.Error()
+				case res.StatusCode != http.StatusOK:
+					ss.Error = fmt.Sprintf("HTTP %d: %s", res.StatusCode, shardErrorText(b))
+				default:
+					ss.OK = true
+					ss.Stats = json.RawMessage(b)
+				}
+			}
+			resp.Shards[i] = ss
+		}(i, base+"/stats")
+	}
+	wg.Wait()
+	var failures []ShardFailure
+	for _, ss := range resp.Shards {
+		if !ss.OK {
+			failures = append(failures, ShardFailure{Shard: ss.Shard, Range: ss.Range, Addr: ss.Addr, Error: ss.Error})
+			continue
+		}
+		var sub statsSubset
+		if json.Unmarshal(ss.Stats, &sub) == nil {
+			resp.Totals.NumWindows += sub.NumWindows
+			resp.Totals.DistanceCalls.Build += sub.DistanceCalls.Build
+			resp.Totals.DistanceCalls.Filter += sub.DistanceCalls.Filter
+			resp.Totals.DistanceCalls.Verify += sub.DistanceCalls.Verify
+		}
+	}
+	if len(failures) > 0 {
+		resp.Degradation = &Degradation{Degraded: true, Failures: failures}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, base := range g.urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			res, err := g.get(r.Context(), url)
+			if err != nil {
+				return
+			}
+			defer res.Body.Close()
+			io.Copy(io.Discard, res.Body)
+			if res.StatusCode == http.StatusOK {
+				mu.Lock()
+				up++
+				mu.Unlock()
+			}
+		}(base + "/healthz")
+	}
+	wg.Wait()
+	// The gateway is healthy while it can still answer (possibly degraded)
+	// queries, i.e. while any shard is up.
+	status := http.StatusOK
+	if up == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ok": up > 0, "shards_up": up, "shards": len(g.urls)})
+}

@@ -1,0 +1,154 @@
+// Package shard partitions one logical subsequence index across several
+// serving processes and merges their answers back into a single response.
+//
+// The metric backends are embarrassingly shardable by window range: every
+// reported match pairs a query subsequence with a subsequence of ONE
+// database sequence, and a window filter hit likewise names one window of
+// one sequence, so partitioning the database by whole sequences keeps
+// every query type exact — no match or hit can span two shards. A Plan
+// assigns each shard a contiguous range of sequence indices; each shard
+// builds the ordinary single-node engine over its slice and reports
+// results under the global sequence numbering (its range's Lo is the
+// offset). The Gateway (gateway.go) fans a query out to every shard over
+// the serving tier's HTTP/JSON protocol and merges the per-shard answers
+// deterministically (merge.go): filter and findall answers are merged in
+// the engine's canonical result order, so the merged response is
+// bit-identical to a single-node engine over the same windows; longest
+// and nearest reduce to a deterministic best-of.
+//
+// docs/SHARDING.md documents the topology and the degradation semantics;
+// the cross-shard equivalence suite in cmd/subseqctl proves the
+// bit-identical claim on all four backends.
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Range is one shard's slice of the database: the sequences with global
+// indices in [Lo, Hi). Matches reported by the shard carry global
+// sequence IDs (local ID + Lo).
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of sequences in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// String renders the half-open range.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Validate checks the range in isolation: non-negative start, non-empty
+// extent. An empty shard would build an empty index (the MV backend
+// rejects it outright) and contribute nothing — configuring one is
+// always a mistake, so it is refused with the range shown.
+func (r Range) Validate() error {
+	if r.Lo < 0 {
+		return fmt.Errorf("shard: range %s starts before sequence 0", r)
+	}
+	if r.Hi <= r.Lo {
+		return fmt.Errorf("shard: range %s is empty (hi must exceed lo)", r)
+	}
+	return nil
+}
+
+// Plan is a complete partition of a database of Seqs sequences into
+// contiguous shard ranges. Construct with Partition (even split) or
+// PlanFromRanges (explicit split points); both guarantee the ranges
+// cover [0, Seqs) exactly, in order, with no gaps or overlaps — the
+// property that makes the scatter-gather merge a permutation-free
+// concatenation of disjoint sequence ID spaces.
+type Plan struct {
+	Seqs   int     `json:"seqs"`
+	Ranges []Range `json:"ranges"`
+}
+
+// Partition splits numSeqs sequences into n contiguous shards of
+// near-equal size (the first numSeqs mod n shards hold one extra
+// sequence). It is the default topology when no explicit split points
+// are given.
+func Partition(numSeqs, n int) (Plan, error) {
+	if numSeqs < 1 {
+		return Plan{}, fmt.Errorf("shard: cannot partition %d sequences", numSeqs)
+	}
+	if n < 1 {
+		return Plan{}, fmt.Errorf("shard: shard count must be at least 1, got %d", n)
+	}
+	if n > numSeqs {
+		return Plan{}, fmt.Errorf("shard: %d shards over %d sequences would leave %d shards empty",
+			n, numSeqs, n-numSeqs)
+	}
+	ranges := make([]Range, n)
+	base, extra := numSeqs/n, numSeqs%n
+	lo := 0
+	for i := range ranges {
+		size := base
+		if i < extra {
+			size++
+		}
+		ranges[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return Plan{Seqs: numSeqs, Ranges: ranges}, nil
+}
+
+// PlanFromRanges validates caller-chosen ranges as a complete partition
+// of numSeqs sequences: each range non-empty, in ascending order, the
+// first starting at 0, each starting where its predecessor ended, and
+// the last ending at numSeqs. Every violation is rejected with the
+// offending range named, so a mistyped topology file fails loudly
+// instead of silently dropping (or double-serving) part of the database.
+func PlanFromRanges(numSeqs int, ranges []Range) (Plan, error) {
+	if numSeqs < 1 {
+		return Plan{}, fmt.Errorf("shard: cannot partition %d sequences", numSeqs)
+	}
+	if len(ranges) == 0 {
+		return Plan{}, fmt.Errorf("shard: no ranges given")
+	}
+	want := 0
+	for i, r := range ranges {
+		if err := r.Validate(); err != nil {
+			return Plan{}, fmt.Errorf("shard: range %d: %w", i, err)
+		}
+		if r.Lo != want {
+			if r.Lo > want {
+				return Plan{}, fmt.Errorf("shard: gap before range %d: sequences [%d,%d) are unassigned", i, want, r.Lo)
+			}
+			return Plan{}, fmt.Errorf("shard: range %d %s overlaps its predecessor (expected lo=%d)", i, r, want)
+		}
+		want = r.Hi
+	}
+	if want != numSeqs {
+		if want < numSeqs {
+			return Plan{}, fmt.Errorf("shard: sequences [%d,%d) are unassigned to any shard", want, numSeqs)
+		}
+		return Plan{}, fmt.Errorf("shard: last range ends at %d, past the %d database sequences", want, numSeqs)
+	}
+	return Plan{Seqs: numSeqs, Ranges: ranges}, nil
+}
+
+// RandomPlan draws a partition of numSeqs sequences into n shards with
+// uniformly random split points — the shape the cross-shard equivalence
+// suite sweeps, so correctness never quietly depends on even splits.
+func RandomPlan(numSeqs, n int, rng *rand.Rand) (Plan, error) {
+	if n < 1 || n > numSeqs {
+		return Plan{}, fmt.Errorf("shard: cannot draw %d random shards over %d sequences", n, numSeqs)
+	}
+	// Choose n-1 distinct interior split points in [1, numSeqs).
+	cuts := make(map[int]bool, n-1)
+	for len(cuts) < n-1 {
+		cuts[1+rng.IntN(numSeqs-1)] = true
+	}
+	ranges := make([]Range, 0, n)
+	lo := 0
+	for i := 1; i < numSeqs; i++ {
+		if cuts[i] {
+			ranges = append(ranges, Range{Lo: lo, Hi: i})
+			lo = i
+		}
+	}
+	ranges = append(ranges, Range{Lo: lo, Hi: numSeqs})
+	return PlanFromRanges(numSeqs, ranges)
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestPartitionEvenAndRemainder(t *testing.T) {
+	cases := []struct {
+		seqs, n int
+		want    []Range
+	}{
+		{seqs: 6, n: 3, want: []Range{{0, 2}, {2, 4}, {4, 6}}},
+		{seqs: 7, n: 3, want: []Range{{0, 3}, {3, 5}, {5, 7}}},
+		{seqs: 5, n: 1, want: []Range{{0, 5}}},
+		{seqs: 3, n: 3, want: []Range{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		p, err := Partition(c.seqs, c.n)
+		if err != nil {
+			t.Fatalf("Partition(%d, %d): %v", c.seqs, c.n, err)
+		}
+		if p.Seqs != c.seqs || len(p.Ranges) != len(c.want) {
+			t.Fatalf("Partition(%d, %d) = %+v", c.seqs, c.n, p)
+		}
+		for i, r := range p.Ranges {
+			if r != c.want[i] {
+				t.Errorf("Partition(%d, %d) range %d = %v, want %v", c.seqs, c.n, i, r, c.want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		seqs, n int
+		wantSub string
+	}{
+		{"zero sequences", 0, 1, "cannot partition"},
+		{"zero shards", 5, 0, "at least 1"},
+		{"more shards than sequences", 3, 5, "empty"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Partition(c.seqs, c.n)
+			if err == nil {
+				t.Fatalf("Partition(%d, %d) accepted", c.seqs, c.n)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestPlanFromRangesValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		seqs    int
+		ranges  []Range
+		wantSub string // "" means accept
+	}{
+		{"exact cover", 10, []Range{{0, 4}, {4, 10}}, ""},
+		{"single shard", 10, []Range{{0, 10}}, ""},
+		{"no ranges", 10, nil, "no ranges"},
+		{"negative start", 10, []Range{{-1, 10}}, "before sequence 0"},
+		{"empty range", 10, []Range{{0, 5}, {5, 5}, {5, 10}}, "empty"},
+		{"gap", 10, []Range{{0, 4}, {6, 10}}, "unassigned"},
+		{"overlap", 10, []Range{{0, 6}, {4, 10}}, "overlaps"},
+		{"doesn't start at zero", 10, []Range{{2, 10}}, "unassigned"},
+		{"short of the end", 10, []Range{{0, 8}}, "unassigned"},
+		{"past the end", 10, []Range{{0, 12}}, "past the"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := PlanFromRanges(c.seqs, c.ranges)
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("rejected valid plan: %v", err)
+				}
+				if p.Seqs != c.seqs {
+					t.Fatalf("Seqs = %d, want %d", p.Seqs, c.seqs)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid plan %v", c.ranges)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestRandomPlanAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		seqs := 1 + rng.IntN(40)
+		n := 1 + rng.IntN(seqs)
+		p, err := RandomPlan(seqs, n, rng)
+		if err != nil {
+			t.Fatalf("RandomPlan(%d, %d): %v", seqs, n, err)
+		}
+		if len(p.Ranges) != n {
+			t.Fatalf("RandomPlan(%d, %d): %d ranges", seqs, n, len(p.Ranges))
+		}
+		// PlanFromRanges already validated coverage; re-assert the invariant
+		// independently.
+		want := 0
+		for _, r := range p.Ranges {
+			if r.Lo != want || r.Hi <= r.Lo {
+				t.Fatalf("RandomPlan(%d, %d): bad range %v at lo=%d", seqs, n, r, want)
+			}
+			want = r.Hi
+		}
+		if want != seqs {
+			t.Fatalf("RandomPlan(%d, %d): covers [0,%d)", seqs, n, want)
+		}
+	}
+}

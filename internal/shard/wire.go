@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire types shared by the shard serve processes and the scatter-gather
+// gateway. The field names and JSON tags mirror the single-node serving
+// tier's formats (cmd/subseqctl serve, documented in docs/SERVING.md)
+// exactly — the gateway speaks the same protocol downstream (to shards)
+// and upstream (to clients), so a client cannot tell a gateway from a
+// single node except by the optional "degradation" block. The query
+// payload itself stays a json.RawMessage throughout: the gateway is
+// element-agnostic and never decodes sequences, it only fans bodies out
+// and merges the typed result envelopes.
+
+// Match is one verified subsequence match (core.Match on the wire).
+type Match struct {
+	SeqID  int     `json:"seq_id"`
+	QStart int     `json:"q_start"`
+	QEnd   int     `json:"q_end"`
+	XStart int     `json:"x_start"`
+	XEnd   int     `json:"x_end"`
+	Dist   float64 `json:"dist"`
+}
+
+// QLen is the matched query-side length, the quantity Type-II (longest)
+// queries maximise.
+func (m Match) QLen() int { return m.QEnd - m.QStart }
+
+// Hit is one filtered segment↔window pair.
+type Hit struct {
+	SeqID       int `json:"seq_id"`
+	WindowStart int `json:"window_start"`
+	WindowEnd   int `json:"window_end"`
+	SegStart    int `json:"segment_start"`
+	SegEnd      int `json:"segment_end"`
+}
+
+// MatchesResponse answers findall. Degradation is present only when a
+// gateway answered with one or more shards unavailable.
+type MatchesResponse struct {
+	Count       int          `json:"count"`
+	Matches     []Match      `json:"matches"`
+	Degradation *Degradation `json:"degradation,omitempty"`
+}
+
+// BestResponse answers longest and nearest.
+type BestResponse struct {
+	Found       bool         `json:"found"`
+	Match       *Match       `json:"match,omitempty"`
+	Degradation *Degradation `json:"degradation,omitempty"`
+}
+
+// HitsResponse answers filter.
+type HitsResponse struct {
+	Count       int          `json:"count"`
+	Hits        []Hit        `json:"hits"`
+	Degradation *Degradation `json:"degradation,omitempty"`
+}
+
+// ErrorResponse is the error envelope every endpoint uses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// BatchRequest is the body of POST /query/batch: many queries of one
+// kind, answered by a single FilterHitsBatch/FindAllBatch/LongestBatch
+// traversal on each serving process. Queries stay raw — the serve
+// process decodes them element-typed; the gateway forwards them opaque.
+type BatchRequest struct {
+	// Kind selects the query type: "findall", "longest" or "filter"
+	// (nearest probes radii adaptively and has no batched form).
+	Kind    string            `json:"kind"`
+	Queries []json.RawMessage `json:"queries"`
+	// Eps is the shared radius (all kinds).
+	Eps *float64 `json:"eps"`
+}
+
+// BatchResponse answers a batch: Results[i] answers Queries[i]. Exactly
+// one of Matches/Best/Hits is populated, per Kind.
+type BatchResponse struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+	// Matches answers findall batches: Matches[i] is query i's matches.
+	Matches [][]Match `json:"matches,omitempty"`
+	// Best answers longest batches: Best[i] is query i's best match.
+	Best []BestResult `json:"best,omitempty"`
+	// Hits answers filter batches: Hits[i] is query i's hits.
+	Hits        [][]Hit      `json:"hits,omitempty"`
+	Degradation *Degradation `json:"degradation,omitempty"`
+}
+
+// BestResult is one query's longest-match answer inside a batch.
+type BestResult struct {
+	Found bool   `json:"found"`
+	Match *Match `json:"match,omitempty"`
+}
+
+// ValidBatchKind reports whether kind names a batched query type.
+func ValidBatchKind(kind string) bool {
+	switch kind {
+	case "findall", "longest", "filter":
+		return true
+	}
+	return false
+}
+
+// --- Degradation: typed partial failure ---
+
+// ShardFailure records one shard that could not answer a query. Status
+// is the HTTP status the shard returned, or 0 when the failure was at
+// the transport (connection refused, timeout).
+type ShardFailure struct {
+	Shard  int    `json:"shard"`
+	Range  Range  `json:"range"`
+	Addr   string `json:"addr"`
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error"`
+}
+
+func (f ShardFailure) String() string {
+	if f.Status != 0 {
+		return fmt.Sprintf("shard %d %s (%s): HTTP %d: %s", f.Shard, f.Range, f.Addr, f.Status, f.Error)
+	}
+	return fmt.Sprintf("shard %d %s (%s): %s", f.Shard, f.Range, f.Addr, f.Error)
+}
+
+// Degradation marks a merged response assembled without every shard:
+// the answer is complete over the surviving shards' sequence ranges and
+// silent about the failed ones. Clients that need totality must treat a
+// degraded response as an error; clients that prefer availability get
+// the best answer the surviving fleet can give, with the blind spots
+// named.
+type Degradation struct {
+	Degraded bool           `json:"degraded"`
+	Failures []ShardFailure `json:"failures"`
+}

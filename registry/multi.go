@@ -1,0 +1,97 @@
+package registry
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Multi-session validation: a single serving process may host several
+// named sessions (subseqctl serve -config, docs/SHARDING.md). The specs
+// are validated as a set before anything is built, so a bad topology
+// file fails at startup with the offending entry named — not mid-flight
+// with two sessions clobbering each other's snapshots.
+
+// MountName returns the name a spec's session mounts under: Name when
+// set, else the dataset family name (the natural default — one session
+// per family is the common multi-tenant shape).
+func (s ServerSpec) MountName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Dataset
+}
+
+// validSessionName checks that a session name can appear in a URL path
+// segment without escaping: letters, digits, '-', '_' and '.'. The empty
+// name is allowed here (it defaults later); ValidateServerSpecs checks
+// the defaulted names for uniqueness.
+func validSessionName(name string) error {
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("registry: session name %q contains %q; names must use letters, digits, '-', '_' or '.'", name, r)
+		}
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("registry: session name %q is a path traversal", name)
+	}
+	return nil
+}
+
+// ValidateServerSpecs checks a list of server specs as one multi-session
+// process configuration. Beyond resolving each spec individually (which
+// catches unknown names, unsound pairings, bad shard ranges and bad
+// serving knobs), it rejects cross-spec conflicts: duplicate session
+// names (after defaulting), two sessions writing background snapshots to
+// the same file, and disagreeing listen addresses (the process has one
+// listener; at most one distinct non-empty addr may be named). Every
+// rejection names the spec index and the conflict.
+func ValidateServerSpecs(specs []ServerSpec) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("registry: no sessions configured")
+	}
+	names := make(map[string]int, len(specs))
+	snapPaths := make(map[string]int, len(specs))
+	addr := ""
+	addrAt := -1
+	for i, s := range specs {
+		if _, err := s.Resolve(); err != nil {
+			return fmt.Errorf("registry: session %d (%q): %w", i, s.MountName(), err)
+		}
+		name := s.MountName()
+		if err := validSessionName(name); err != nil {
+			return fmt.Errorf("registry: session %d: %w", i, err)
+		}
+		if prev, dup := names[name]; dup {
+			return fmt.Errorf("registry: sessions %d and %d both mount as %q; give one an explicit distinct name", prev, i, name)
+		}
+		names[name] = i
+		if s.SnapshotPath != "" {
+			p := filepath.Clean(s.SnapshotPath)
+			if prev, dup := snapPaths[p]; dup {
+				return fmt.Errorf("registry: sessions %d and %d both write background snapshots to %q; snapshots would clobber each other", prev, i, s.SnapshotPath)
+			}
+			snapPaths[p] = i
+		}
+		if s.Addr != "" {
+			if addr != "" && s.Addr != addr {
+				return fmt.Errorf("registry: session %d names listen address %q but session %d named %q; a process has one listener", i, s.Addr, addrAt, addr)
+			}
+			addr, addrAt = s.Addr, i
+		}
+	}
+	return nil
+}
+
+// ListenAddr returns the one listen address a validated spec list names,
+// or DefaultServeAddr when none does.
+func ListenAddr(specs []ServerSpec) string {
+	for _, s := range specs {
+		if s.Addr != "" {
+			return s.Addr
+		}
+	}
+	return DefaultServeAddr
+}

@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+func serverSpec(name, dataset string, mut func(*ServerSpec)) ServerSpec {
+	s := ServerSpec{
+		SessionSpec: SessionSpec{Dataset: dataset, Windows: 30, WindowLen: 6, Seed: 3},
+		Name:        name,
+	}
+	if mut != nil {
+		mut(&s)
+	}
+	return s
+}
+
+func TestValidateServerSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		specs   []ServerSpec
+		wantSub string // "" means accept
+	}{
+		{
+			name:  "one unnamed session",
+			specs: []ServerSpec{serverSpec("", "proteins", nil)},
+		},
+		{
+			name: "distinct names and families",
+			specs: []ServerSpec{
+				serverSpec("", "proteins", nil),
+				serverSpec("", "songs", nil),
+				serverSpec("traj-a", "traj", nil),
+				serverSpec("traj-b", "traj", nil),
+			},
+		},
+		{
+			name: "shard fleet of one family",
+			specs: []ServerSpec{
+				serverSpec("p0", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = 0, 3 }),
+				serverSpec("p1", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = 3, 6 }),
+			},
+		},
+		{
+			name:    "no sessions",
+			specs:   nil,
+			wantSub: "no sessions",
+		},
+		{
+			name: "duplicate explicit names",
+			specs: []ServerSpec{
+				serverSpec("idx", "proteins", nil),
+				serverSpec("idx", "songs", nil),
+			},
+			wantSub: `both mount as "idx"`,
+		},
+		{
+			name: "duplicate defaulted names",
+			specs: []ServerSpec{
+				serverSpec("", "proteins", nil),
+				serverSpec("", "proteins", nil),
+			},
+			wantSub: `both mount as "proteins"`,
+		},
+		{
+			name:    "name with a slash",
+			specs:   []ServerSpec{serverSpec("a/b", "proteins", nil)},
+			wantSub: "letters, digits",
+		},
+		{
+			name:    "name with a space",
+			specs:   []ServerSpec{serverSpec("my index", "proteins", nil)},
+			wantSub: "letters, digits",
+		},
+		{
+			name:    "dot-dot name",
+			specs:   []ServerSpec{serverSpec("..", "proteins", nil)},
+			wantSub: "path traversal",
+		},
+		{
+			name: "conflicting snapshot paths",
+			specs: []ServerSpec{
+				serverSpec("a", "proteins", func(s *ServerSpec) {
+					s.SnapshotInterval = 1e9
+					s.SnapshotPath = "/tmp/snaps/x.snap"
+				}),
+				serverSpec("b", "songs", func(s *ServerSpec) {
+					s.SnapshotInterval = 1e9
+					s.SnapshotPath = "/tmp/snaps//x.snap" // same file after Clean
+				}),
+			},
+			wantSub: "clobber",
+		},
+		{
+			name: "distinct snapshot paths accepted",
+			specs: []ServerSpec{
+				serverSpec("a", "proteins", func(s *ServerSpec) {
+					s.SnapshotInterval = 1e9
+					s.SnapshotPath = "/tmp/snaps/a.snap"
+				}),
+				serverSpec("b", "songs", func(s *ServerSpec) {
+					s.SnapshotInterval = 1e9
+					s.SnapshotPath = "/tmp/snaps/b.snap"
+				}),
+			},
+		},
+		{
+			name: "negative shard range",
+			specs: []ServerSpec{
+				serverSpec("p", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = -1, 4 }),
+			},
+			wantSub: "before sequence 0",
+		},
+		{
+			name: "empty shard range",
+			specs: []ServerSpec{
+				serverSpec("p", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = 4, 4 }),
+			},
+			// [4,4) has ShardLo != 0, so it counts as sharded and empty.
+			wantSub: "empty",
+		},
+		{
+			name: "inverted shard range",
+			specs: []ServerSpec{
+				serverSpec("p", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = 5, 2 }),
+			},
+			wantSub: "shard_hi must exceed shard_lo",
+		},
+		{
+			name: "bad session inside the list names its index",
+			specs: []ServerSpec{
+				serverSpec("ok", "proteins", nil),
+				serverSpec("bad", "no-such-family", nil),
+			},
+			wantSub: "session 1",
+		},
+		{
+			name: "unsound pairing rejected with rationale",
+			specs: []ServerSpec{
+				serverSpec("dtw-tree", "songs", func(s *ServerSpec) { s.Measure = "dtw"; s.Backend = "refnet" }),
+			},
+			wantSub: "not a metric",
+		},
+		{
+			name: "conflicting listen addresses",
+			specs: []ServerSpec{
+				serverSpec("a", "proteins", func(s *ServerSpec) { s.Addr = "127.0.0.1:9001" }),
+				serverSpec("b", "songs", func(s *ServerSpec) { s.Addr = "127.0.0.1:9002" }),
+			},
+			wantSub: "one listener",
+		},
+		{
+			name: "one addr named once is fine",
+			specs: []ServerSpec{
+				serverSpec("a", "proteins", func(s *ServerSpec) { s.Addr = "127.0.0.1:9001" }),
+				serverSpec("b", "songs", nil),
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateServerSpecs(c.specs)
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("rejected valid spec list: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("accepted invalid spec list")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestMountNameDefaultsToDataset(t *testing.T) {
+	if got := serverSpec("", "songs", nil).MountName(); got != "songs" {
+		t.Errorf("MountName() = %q, want songs", got)
+	}
+	if got := serverSpec("x", "songs", nil).MountName(); got != "x" {
+		t.Errorf("MountName() = %q, want x", got)
+	}
+}
+
+func TestListenAddr(t *testing.T) {
+	specs := []ServerSpec{
+		serverSpec("a", "proteins", nil),
+		serverSpec("b", "songs", func(s *ServerSpec) { s.Addr = "127.0.0.1:9005" }),
+	}
+	if got := ListenAddr(specs); got != "127.0.0.1:9005" {
+		t.Errorf("ListenAddr = %q", got)
+	}
+	if got := ListenAddr(specs[:1]); got != DefaultServeAddr {
+		t.Errorf("ListenAddr with no addr = %q, want default", got)
+	}
+}
+
+func TestServerSpecResolveEchoesShardAndName(t *testing.T) {
+	s := serverSpec("p1", "proteins", func(s *ServerSpec) { s.ShardLo, s.ShardHi = 3, 7 })
+	cfg, err := s.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if cfg.Name != "p1" || cfg.ShardLo != 3 || cfg.ShardHi != 7 {
+		t.Errorf("config does not echo name/shard: %+v", cfg)
+	}
+}

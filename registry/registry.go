@@ -311,7 +311,20 @@ type SessionSpec struct {
 	Lambda0 int `json:"lambda0,omitempty"`
 	// Seed seeds dataset generation.
 	Seed uint64 `json:"seed,omitempty"`
+	// ShardLo/ShardHi restrict the session to the generated dataset's
+	// sequences with indices in [ShardLo, ShardHi) — one shard of the
+	// logical index, reporting matches under the global sequence
+	// numbering (see internal/shard and docs/SHARDING.md). Both zero
+	// means unsharded (the whole dataset). Generation is deterministic
+	// per (dataset, windows, window_len, seed), so every shard process
+	// derives its slice from the same logical whole.
+	ShardLo int `json:"shard_lo,omitempty"`
+	ShardHi int `json:"shard_hi,omitempty"`
 }
+
+// Sharded reports whether the spec restricts the session to a shard
+// range.
+func (s SessionSpec) Sharded() bool { return s.ShardLo != 0 || s.ShardHi != 0 }
 
 // Resolve fills the spec's defaults and resolves its names against the
 // registry, without generating anything: the dataset family, the measure
@@ -339,6 +352,16 @@ func (s SessionSpec) Resolve() (DatasetInfo, MeasureInfo, BackendInfo, error) {
 	}
 	if err := Compatible(mi, bi); err != nil {
 		return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, fmt.Errorf("registry: %w", err)
+	}
+	if s.Sharded() {
+		if s.ShardLo < 0 {
+			return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, fmt.Errorf(
+				"registry: shard range [%d,%d) starts before sequence 0", s.ShardLo, s.ShardHi)
+		}
+		if s.ShardHi <= s.ShardLo {
+			return DatasetInfo{}, MeasureInfo{}, BackendInfo{}, fmt.Errorf(
+				"registry: shard range [%d,%d) is empty (shard_hi must exceed shard_lo)", s.ShardLo, s.ShardHi)
+		}
 	}
 	return di, mi, bi, nil
 }
@@ -373,6 +396,15 @@ func (s SessionSpec) Lambda0For(mi MeasureInfo) (int, error) {
 // the daemon runs and reports on /stats. See docs/SERVING.md.
 type ServerSpec struct {
 	SessionSpec
+	// Name names the session inside a multi-session process: its routes
+	// mount under /s/{name}/ (see docs/SHARDING.md). "" defaults to the
+	// dataset family name. Names must be URL-path-safe (letters, digits,
+	// '-', '_', '.') and unique within one process (ValidateServerSpecs).
+	Name string `json:"name,omitempty"`
+	// Restore makes the session restore its index from this snapshot
+	// file instead of building it (the snapshot must match the session
+	// spec; see docs/PERSISTENCE.md).
+	Restore string `json:"restore,omitempty"`
 	// Addr is the TCP listen address; "" selects 127.0.0.1:8077.
 	Addr string `json:"addr,omitempty"`
 	// Workers is the streaming engine's worker count; 0 selects
@@ -419,17 +451,24 @@ func resolveWindowLen(wl int) (int, error) {
 // It marshals to the JSON a daemon's /stats endpoint echoes, so a client
 // can always ask a server what it is.
 type ServerConfig struct {
-	Dataset    DatasetInfo `json:"dataset"`
-	Measure    MeasureInfo `json:"measure"`
-	Backend    BackendInfo `json:"backend"`
-	Windows    int         `json:"windows"`
-	WindowLen  int         `json:"window_len"`
-	Lambda     int         `json:"lambda"`
-	Lambda0    int         `json:"lambda0"`
-	Seed       uint64      `json:"seed"`
-	Addr       string      `json:"addr"`
-	Workers    int         `json:"workers"`
-	QueueDepth int         `json:"queue_depth"`
+	// Name is the session's mount name inside a multi-session process
+	// ("" when the process serves it as its only, legacy-routed session).
+	Name      string      `json:"name,omitempty"`
+	Dataset   DatasetInfo `json:"dataset"`
+	Measure   MeasureInfo `json:"measure"`
+	Backend   BackendInfo `json:"backend"`
+	Windows   int         `json:"windows"`
+	WindowLen int         `json:"window_len"`
+	Lambda    int         `json:"lambda"`
+	Lambda0   int         `json:"lambda0"`
+	Seed      uint64      `json:"seed"`
+	// ShardLo/ShardHi echo the session's shard range ([0,0) = unsharded).
+	ShardLo    int    `json:"shard_lo,omitempty"`
+	ShardHi    int    `json:"shard_hi,omitempty"`
+	Restore    string `json:"restore,omitempty"`
+	Addr       string `json:"addr"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
 	// Shed is the canonical shed-policy name ("block", "reject", "fair").
 	Shed string `json:"shed"`
 	// RequestTimeoutMillis is the per-request timeout in milliseconds
@@ -470,10 +509,15 @@ func (s ServerSpec) Resolve() (ServerConfig, error) {
 	if s.SnapshotInterval > 0 && s.SnapshotPath == "" {
 		return ServerConfig{}, fmt.Errorf("registry: snapshot interval %v set without a snapshot path", s.SnapshotInterval)
 	}
+	if err := validSessionName(s.Name); err != nil {
+		return ServerConfig{}, err
+	}
 	cfg := ServerConfig{
+		Name:    s.Name,
 		Dataset: di, Measure: mi, Backend: bi,
 		Windows: s.Windows, WindowLen: wl,
 		Lambda: 2 * wl, Lambda0: lambda0, Seed: s.Seed,
+		ShardLo: s.ShardLo, ShardHi: s.ShardHi, Restore: s.Restore,
 		Addr: s.Addr, Workers: s.Workers, QueueDepth: s.QueueDepth,
 		Shed:                   shed.String(),
 		RequestTimeoutMillis:   s.RequestTimeout.Milliseconds(),
