@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke shard-smoke chaos-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke shard-smoke replica-smoke chaos-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -59,6 +59,15 @@ snapshot-smoke:
 # (TestShardSmokeBinary drives the whole flow).
 shard-smoke:
 	$(GO) test -run TestShardSmokeBinary -count=1 -v ./cmd/subseqctl
+
+# replica-smoke is the replication end-to-end check: build the real
+# subseqctl binary, start a 2-ranges × 2-replicas fleet behind a gateway
+# with hedging and health probing, verify bit-identical answers, kill one
+# replica and verify zero degradation, restart it on the same address and
+# verify the breaker re-admits it, then shut down gracefully
+# (TestReplicaSmokeBinary drives the whole flow).
+replica-smoke:
+	$(GO) test -run TestReplicaSmokeBinary -count=1 -v ./cmd/subseqctl
 
 # chaos-smoke drives the fault-injection harness (internal/chaos) under
 # the race detector on a CI time budget: worker kills mid-claim, evaluator

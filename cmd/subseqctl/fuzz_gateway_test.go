@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Fuzzing for the gateway's topology-decoding path — the inputs an
+// operator (flags) or a remote fleet (discovery responses) feed it at
+// startup. The invariants mirror the parse-query fuzzing: never panic,
+// and never accept an input that violates the structures the gateway
+// then routes by — a malformed plan or replica grouping that slipped
+// through here would misdirect every query after it.
+
+// FuzzGatewayPlanFlag hammers the -ranges flag parser. An accepted plan
+// must satisfy the partition invariants (contiguous cover of [0, Seqs)
+// starting at 0) and survive a render/re-parse round trip unchanged.
+func FuzzGatewayPlanFlag(f *testing.F) {
+	seeds := []string{
+		"0-3,3-6",
+		"0-1",
+		"0-0",
+		"0-3,4-6",
+		"3-0",
+		"-1-2",
+		"0-3,3-2",
+		"a-b",
+		"0-9999999999999999999",
+		"",
+		",",
+		"0-3,,3-6",
+		"  0-3 , 3-6  ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := planFromFlag(s)
+		if err != nil {
+			return
+		}
+		if len(plan.Ranges) == 0 {
+			t.Fatalf("planFromFlag(%q) accepted an empty plan", s)
+		}
+		lo := 0
+		for i, r := range plan.Ranges {
+			if r.Lo != lo || r.Hi <= r.Lo {
+				t.Fatalf("planFromFlag(%q) accepted non-contiguous range %d: %+v", s, i, plan.Ranges)
+			}
+			lo = r.Hi
+		}
+		if plan.Seqs != lo {
+			t.Fatalf("planFromFlag(%q): Seqs = %d, ranges end at %d", s, plan.Seqs, lo)
+		}
+		// Round trip: render the accepted plan back to flag syntax and
+		// re-parse; the plan is its own canonical form.
+		parts := make([]string, len(plan.Ranges))
+		for i, r := range plan.Ranges {
+			parts[i] = fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+		}
+		rendered := strings.Join(parts, ",")
+		again, err := planFromFlag(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing rendered plan %q: %v", rendered, err)
+		}
+		if again.Seqs != plan.Seqs || len(again.Ranges) != len(plan.Ranges) {
+			t.Fatalf("round trip changed the plan: %+v vs %+v", plan, again)
+		}
+	})
+}
+
+// FuzzReplicaGroups hammers the -shard/-replicas grouping. Accepted
+// groups must partition the input: every group non-empty, every URL
+// non-empty and comma-free, and the total replica count preserved.
+func FuzzReplicaGroups(f *testing.F) {
+	f.Add("http://a http://b http://c http://d", 2)
+	f.Add("http://a,http://b http://c", 1)
+	f.Add("a b c", 3)
+	f.Add("a,,b", 1)
+	f.Add("a b c", 2)
+	f.Add("", 1)
+	f.Add("a", 0)
+	f.Add("a,b c,d", 2)
+	f.Fuzz(func(t *testing.T, entriesSpec string, n int) {
+		entries := strings.Fields(entriesSpec)
+		groups, err := replicaGroups(entries, n)
+		if err != nil {
+			return
+		}
+		if len(entries) > 0 && len(groups) == 0 {
+			t.Fatalf("replicaGroups(%q, %d) accepted but returned no groups", entries, n)
+		}
+		total := 0
+		for gi, g := range groups {
+			if len(g) == 0 {
+				t.Fatalf("replicaGroups(%q, %d): group %d is empty", entries, n, gi)
+			}
+			total += len(g)
+			for _, u := range g {
+				if u == "" || strings.Contains(u, ",") {
+					t.Fatalf("replicaGroups(%q, %d): bad URL %q in group %d", entries, n, u, gi)
+				}
+			}
+		}
+		// Count preservation: chunked spelling keeps every entry; the
+		// explicit spelling splits each entry into its commas' worth.
+		wantTotal := 0
+		for _, e := range entries {
+			wantTotal += strings.Count(e, ",") + 1
+		}
+		if total != wantTotal {
+			t.Fatalf("replicaGroups(%q, %d) kept %d replicas, want %d", entries, n, total, wantTotal)
+		}
+	})
+}
+
+// FuzzDiscoverStatsProbe hammers the /stats-discovery decoding with two
+// arbitrary response bodies standing in for a two-range fleet. Malformed
+// bodies must be rejected cleanly, and any plan assembled from accepted
+// probes must satisfy the partition invariants.
+func FuzzDiscoverStatsProbe(f *testing.F) {
+	f.Add([]byte(`{"config":{"shard_lo":0,"shard_hi":4},"store":{"sequences":4}}`),
+		[]byte(`{"config":{"shard_lo":4,"shard_hi":9},"store":{"sequences":5}}`))
+	f.Add([]byte(`{"config":{"shard_lo":0,"shard_hi":0},"store":{"sequences":3}}`),
+		[]byte(`{"config":{"shard_lo":0,"shard_hi":0},"store":{"sequences":2}}`))
+	f.Add([]byte(`{"config":{"shard_lo":0,"shard_hi":4}}`), []byte(`{"store":{"sequences":2}}`))
+	f.Add([]byte(`{"config":{"shard_lo":-1,"shard_hi":4}}`), []byte(`{}`))
+	f.Add([]byte(`{"config":{"shard_lo":4,"shard_hi":0}}`), []byte(`null`))
+	f.Add([]byte(`not json`), []byte(``))
+	f.Add([]byte(`{"config":{"shard_lo":1e18,"shard_hi":1e18}}`), []byte(`{"store":{"sequences":1e18}}`))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		pa, errA := parseProbe(a)
+		pb, errB := parseProbe(b)
+		if errA != nil || errB != nil {
+			return
+		}
+		if pa.Config.ShardLo < 0 || pa.Config.ShardHi < 0 || pa.Store.Sequences < 0 {
+			t.Fatalf("parseProbe(%q) accepted negative topology: %+v", a, pa)
+		}
+		plan, err := planFromProbes([]shardProbe{pa, pb})
+		if err != nil {
+			return
+		}
+		if len(plan.Ranges) != 2 {
+			t.Fatalf("planFromProbes accepted %d ranges from 2 probes", len(plan.Ranges))
+		}
+		lo := 0
+		for i, r := range plan.Ranges {
+			if r.Lo != lo || r.Hi <= r.Lo {
+				t.Fatalf("probes (%q, %q) produced non-contiguous plan: range %d of %+v", a, b, i, plan.Ranges)
+			}
+			lo = r.Hi
+		}
+		if plan.Seqs != lo {
+			t.Fatalf("probes (%q, %q): Seqs = %d, ranges end at %d", a, b, plan.Seqs, lo)
+		}
+	})
+}

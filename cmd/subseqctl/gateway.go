@@ -22,11 +22,16 @@ import (
 // subseqctl gateway: the scatter-gather front end over a shard fleet.
 // Each shard is an ordinary `subseqctl serve` process hosting one slice
 // of the logical database (shard_lo/shard_hi on its session spec); the
-// gateway fans every query out to all of them through the bounded-retry
+// gateway fans every query out over all ranges through the bounded-retry
 // client and merges the answers deterministically (internal/shard), so a
 // client sees one index — bit-identical to a single node over the same
-// windows — plus a "degradation" block naming any shard that could not
-// answer. docs/SHARDING.md documents the topology end to end.
+// windows — plus a "degradation" block naming any range that could not
+// answer. With -replicas N, consecutive -shard URLs form replica sets:
+// each range is served by N interchangeable processes, routed by
+// per-replica circuit breakers with background health probing, failover
+// on error and an optional hedged second read (-hedge-after) — one
+// replica loss is then masked entirely. docs/SHARDING.md documents the
+// topology end to end.
 
 // defaultGatewayAddr deliberately differs from registry.DefaultServeAddr
 // so a gateway and a shard can share a host with no flags.
@@ -36,12 +41,19 @@ func cmdGateway(args []string) {
 	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
 	addr := fs.String("addr", defaultGatewayAddr, "TCP listen address (host:port; :0 picks a free port)")
 	var shards stringList
-	fs.Var(&shards, "shard", "base URL of one shard serve process, e.g. http://127.0.0.1:8077 (repeatable, in shard order)")
-	ranges := fs.String("ranges", "", `comma-separated lo-hi sequence ranges, one per -shard in order (e.g. "0-3,3-6"); empty discovers the plan from each shard's /stats`)
-	attempts := fs.Int("attempts", 4, "per-shard request attempts (retries on 429/503 and transport errors)")
+	fs.Var(&shards, "shard", "base URL of one shard serve process, e.g. http://127.0.0.1:8077 (repeatable, in shard order; with -replicas N, N consecutive URLs form one range's replica set, or give one comma-separated list per range)")
+	ranges := fs.String("ranges", "", `comma-separated lo-hi sequence ranges, one per shard range in order (e.g. "0-3,3-6"); empty discovers the plan from each shard's /stats`)
+	attempts := fs.Int("attempts", 4, "per-request attempts against one replica (retries on 429/503 and transport errors)")
+	replicasPerRange := fs.Int("replicas", 1, "replicas per shard range: consecutive -shard URLs are grouped N at a time")
+	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "launch a hedged read to another replica when the first has been in flight this long (0 disables hedging)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "background health-probe period per replica (0 disables probing)")
 	fs.Parse(args)
 	if len(shards) == 0 {
 		fail(errors.New("gateway needs at least one -shard URL"))
+	}
+	groups, err := replicaGroups(shards, *replicasPerRange)
+	if err != nil {
+		fail(err)
 	}
 	rc := &retryClient{attempts: *attempts}
 	get := func(ctx context.Context, url string) (*http.Response, error) {
@@ -52,16 +64,17 @@ func cmdGateway(args []string) {
 		return http.DefaultClient.Do(req)
 	}
 	var plan shard.Plan
-	var err error
 	if *ranges != "" {
 		plan, err = planFromFlag(*ranges)
 	} else {
-		plan, err = discoverPlan(shards, get)
+		plan, err = discoverPlan(groups, get)
 	}
 	if err != nil {
 		fail(err)
 	}
-	gw, err := shard.NewGateway(plan, shards, shard.WithPost(rc.postJSON), shard.WithGet(get))
+	gw, err := shard.NewReplicatedGateway(plan, groups,
+		shard.WithPost(rc.postJSON), shard.WithGet(get),
+		shard.WithHedgeAfter(*hedgeAfter), shard.WithProbeInterval(*probeInterval))
 	if err != nil {
 		fail(err)
 	}
@@ -70,10 +83,11 @@ func cmdGateway(args []string) {
 		fail(err)
 	}
 	for i, r := range plan.Ranges {
-		fmt.Printf("subseqctl: gateway shard %d %s at %s\n", i, r, strings.TrimRight(shards[i], "/"))
+		fmt.Printf("subseqctl: gateway shard %d %s at %s\n", i, r, strings.Join(gw.Replicas()[i], ", "))
 	}
 	fmt.Printf("subseqctl: gateway over %d shards (%d sequences) on http://%s\n",
 		len(plan.Ranges), plan.Seqs, ln.Addr())
+	stopProbing := gw.StartProbing()
 	hs := &http.Server{Handler: gw.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -89,7 +103,50 @@ func cmdGateway(args []string) {
 		fail(err)
 	}
 	<-done
+	stopProbing()
 	fmt.Println("subseqctl: gateway shut down")
+}
+
+// replicaGroups turns the flat -shard list into per-range replica sets.
+// Two spellings are accepted: with -replicas N, consecutive entries are
+// chunked N at a time (so the list length must be a multiple of N); or
+// each entry is itself a comma-separated replica list for one range
+// (then -replicas must stay 1, the grouping being explicit already).
+func replicaGroups(entries []string, n int) ([][]string, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("-replicas must be at least 1, got %d", n)
+	}
+	var groups [][]string
+	explicit := false
+	for _, e := range entries {
+		if strings.Contains(e, ",") {
+			explicit = true
+		}
+	}
+	if explicit {
+		if n != 1 {
+			return nil, errors.New("give replicas either via -replicas N or as comma-separated -shard entries, not both")
+		}
+		for i, e := range entries {
+			var set []string
+			for _, u := range strings.Split(e, ",") {
+				u = strings.TrimSpace(u)
+				if u == "" {
+					return nil, fmt.Errorf("-shard entry %d has an empty replica URL", i)
+				}
+				set = append(set, u)
+			}
+			groups = append(groups, set)
+		}
+		return groups, nil
+	}
+	if len(entries)%n != 0 {
+		return nil, fmt.Errorf("%d -shard URLs do not divide into replica sets of %d", len(entries), n)
+	}
+	for i := 0; i < len(entries); i += n {
+		groups = append(groups, append([]string(nil), entries[i:i+n]...))
+	}
+	return groups, nil
 }
 
 // planFromFlag parses the -ranges flag ("0-3,3-6") into a validated plan;
@@ -127,34 +184,23 @@ type shardProbe struct {
 	} `json:"store"`
 }
 
-// discoverPlan learns the partition from the shards themselves: each
-// serve process echoes its shard_lo/shard_hi on /stats, so a correctly
-// configured fleet describes its own plan (and a misconfigured one —
-// gaps, overlaps, out-of-order URLs — is rejected by the same validation
-// a -ranges flag gets). A fleet of unsharded sessions is stacked instead:
-// shard i owns the next Sequences-sized block, which matches how a
-// gateway over independent stores would number them.
-func discoverPlan(urls []string, get shard.GetFunc) (shard.Plan, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	probes := make([]shardProbe, len(urls))
-	for i, u := range urls {
-		res, err := get(ctx, strings.TrimRight(u, "/")+"/stats")
-		if err != nil {
-			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
-		}
-		b, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
-		res.Body.Close()
-		if err != nil {
-			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
-		}
-		if res.StatusCode != http.StatusOK {
-			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): HTTP %d", i, u, res.StatusCode)
-		}
-		if err := json.Unmarshal(b, &probes[i]); err != nil {
-			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d (%s): %w", i, u, err)
-		}
+// parseProbe decodes one /stats body into the topology slice.
+func parseProbe(body []byte) (shardProbe, error) {
+	var p shardProbe
+	if err := json.Unmarshal(body, &p); err != nil {
+		return shardProbe{}, err
 	}
+	if p.Config.ShardHi < 0 || p.Config.ShardLo < 0 || p.Store.Sequences < 0 {
+		return shardProbe{}, errors.New("negative shard range or sequence count")
+	}
+	return p, nil
+}
+
+// planFromProbes assembles the fleet's plan from one probe per range:
+// either every range declares its shard_lo/shard_hi (a sharded fleet,
+// validated exactly like an explicit -ranges flag) or none does (an
+// unsharded fleet, stacked by store size). Mixed fleets are ambiguous.
+func planFromProbes(probes []shardProbe) (shard.Plan, error) {
 	sharded := 0
 	for _, p := range probes {
 		if p.Config.ShardHi > 0 {
@@ -162,13 +208,13 @@ func discoverPlan(urls []string, get shard.GetFunc) (shard.Plan, error) {
 		}
 	}
 	switch {
-	case sharded == len(probes):
+	case sharded == len(probes) && len(probes) > 0:
 		rs := make([]shard.Range, len(probes))
 		for i, p := range probes {
 			rs[i] = shard.Range{Lo: p.Config.ShardLo, Hi: p.Config.ShardHi}
 		}
 		return shard.PlanFromRanges(rs[len(rs)-1].Hi, rs)
-	case sharded == 0:
+	case sharded == 0 && len(probes) > 0:
 		rs := make([]shard.Range, len(probes))
 		lo := 0
 		for i, p := range probes {
@@ -176,9 +222,70 @@ func discoverPlan(urls []string, get shard.GetFunc) (shard.Plan, error) {
 			lo = rs[i].Hi
 		}
 		return shard.PlanFromRanges(lo, rs)
+	case len(probes) == 0:
+		return shard.Plan{}, errors.New("no shards to discover a plan from")
 	default:
 		return shard.Plan{}, fmt.Errorf(
-			"discovering plan: %d of %d shards declare a shard range and the rest do not; mixed fleets are ambiguous (give -ranges explicitly)",
+			"%d of %d shards declare a shard range and the rest do not; mixed fleets are ambiguous (give -ranges explicitly)",
 			sharded, len(probes))
 	}
+}
+
+// discoverPlan learns the partition from the fleet itself: each serve
+// process echoes its shard_lo/shard_hi on /stats, so a correctly
+// configured fleet describes its own plan (and a misconfigured one —
+// gaps, overlaps, out-of-order URLs — is rejected by the same validation
+// a -ranges flag gets). Within a replica set the first answering replica
+// speaks for the range, but every replica that does answer must agree —
+// replicas serving different slices under one range is a deployment
+// error worth failing on. A fleet of unsharded sessions is stacked
+// instead: range i owns the next Sequences-sized block, which matches
+// how a gateway over independent stores would number them.
+func discoverPlan(groups [][]string, get shard.GetFunc) (shard.Plan, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	probes := make([]shardProbe, len(groups))
+	for i, set := range groups {
+		var got []shardProbe
+		var errs []string
+		for j, u := range set {
+			p, err := fetchProbe(ctx, strings.TrimRight(u, "/"), get)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("replica %d (%s): %v", j, u, err))
+				continue
+			}
+			got = append(got, p)
+		}
+		if len(got) == 0 {
+			return shard.Plan{}, fmt.Errorf("discovering plan: shard %d: no replica answered: %s", i, strings.Join(errs, "; "))
+		}
+		for _, p := range got[1:] {
+			if p != got[0] {
+				return shard.Plan{}, fmt.Errorf("discovering plan: shard %d: replicas disagree on their range/store (%+v vs %+v)", i, got[0], p)
+			}
+		}
+		probes[i] = got[0]
+	}
+	plan, err := planFromProbes(probes)
+	if err != nil {
+		return shard.Plan{}, fmt.Errorf("discovering plan: %w", err)
+	}
+	return plan, nil
+}
+
+// fetchProbe GETs one replica's /stats and decodes the topology slice.
+func fetchProbe(ctx context.Context, base string, get shard.GetFunc) (shardProbe, error) {
+	res, err := get(ctx, base+"/stats")
+	if err != nil {
+		return shardProbe{}, err
+	}
+	b, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	res.Body.Close()
+	if err != nil {
+		return shardProbe{}, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return shardProbe{}, fmt.Errorf("HTTP %d", res.StatusCode)
+	}
+	return parseProbe(b)
 }

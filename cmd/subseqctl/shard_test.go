@@ -527,7 +527,7 @@ func TestDiscoverPlan(t *testing.T) {
 
 	// A sharded fleet describes its own plan.
 	a, b := statsServer(0, 4, 4), statsServer(4, 9, 5)
-	plan, err := discoverPlan([]string{a.URL, b.URL}, httpGet)
+	plan, err := discoverPlan([][]string{{a.URL}, {b.URL}}, httpGet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,7 +536,7 @@ func TestDiscoverPlan(t *testing.T) {
 	}
 	// An unsharded fleet stacks by sequence count.
 	c, d := statsServer(0, 0, 3), statsServer(0, 0, 2)
-	plan, err = discoverPlan([]string{c.URL, d.URL}, httpGet)
+	plan, err = discoverPlan([][]string{{c.URL}, {d.URL}}, httpGet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,13 +544,65 @@ func TestDiscoverPlan(t *testing.T) {
 		t.Fatalf("stacked plan %+v", plan)
 	}
 	// A mixed fleet is ambiguous.
-	if _, err := discoverPlan([]string{a.URL, c.URL}, httpGet); err == nil {
+	if _, err := discoverPlan([][]string{{a.URL}, {c.URL}}, httpGet); err == nil {
 		t.Fatal("mixed fleet accepted")
 	}
 	// A gapped sharded fleet is rejected by plan validation.
 	e := statsServer(5, 9, 4)
-	if _, err := discoverPlan([]string{a.URL, e.URL}, httpGet); err == nil {
+	if _, err := discoverPlan([][]string{{a.URL}, {e.URL}}, httpGet); err == nil {
 		t.Fatal("gapped fleet accepted")
+	}
+
+	// A replica set speaks through whichever member answers: with one
+	// replica dead, discovery still succeeds off the live one.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	plan, err = discoverPlan([][]string{{dead.URL, a.URL}, {b.URL}}, httpGet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seqs != 9 {
+		t.Fatalf("replicated discovery plan %+v", plan)
+	}
+	// Every replica dead fails discovery for the range.
+	if _, err := discoverPlan([][]string{{dead.URL}, {b.URL}}, httpGet); err == nil {
+		t.Fatal("all-dead replica set accepted")
+	}
+	// Replicas that answer must agree on their slice.
+	if _, err := discoverPlan([][]string{{a.URL, b.URL}}, httpGet); err == nil {
+		t.Fatal("disagreeing replicas accepted")
+	}
+}
+
+func TestReplicaGroups(t *testing.T) {
+	groups, err := replicaGroups([]string{"a", "b", "c", "d"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"a", "b"}, {"c", "d"}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	// One comma-separated entry per range is the explicit spelling.
+	groups, err = replicaGroups([]string{"a, b", "c"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = [][]string{{"a", "b"}, {"c"}}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("explicit groups = %v, want %v", groups, want)
+	}
+	if _, err := replicaGroups([]string{"a", "b", "c"}, 2); err == nil {
+		t.Fatal("accepted URL count not divisible by -replicas")
+	}
+	if _, err := replicaGroups([]string{"a,b"}, 2); err == nil {
+		t.Fatal("accepted comma entries combined with -replicas > 1")
+	}
+	if _, err := replicaGroups([]string{"a,,b"}, 1); err == nil {
+		t.Fatal("accepted empty replica URL")
+	}
+	if _, err := replicaGroups([]string{"a"}, 0); err == nil {
+		t.Fatal("accepted -replicas 0")
 	}
 }
 

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/seq"
+	"repro/internal/shard"
+)
+
+// Replica kill: every shard range is served by two replicas, and one
+// replica dies outright under live traffic. Unlike the shard-kill
+// scenario — where losing the only copy of a range rightly degrades the
+// answers — replica loss must be invisible: every response during the
+// outage stays HTTP 200 with no Degradation block and bit-identical to
+// the single-node ground truth, with the gateway's breaker deflecting
+// traffic to the surviving replica. The replica then comes back on the
+// same address and the breaker must re-admit it. Which range loses which
+// replica comes from the suite seed (CHAOS_SEED).
+
+// replicaProcess is a shard replica that can be killed and resurrected
+// on the same host:port, standing in for a crashed-and-restarted serve
+// process. The handler (and its index) survives restarts, like an index
+// rebuilt from the same snapshot.
+type replicaProcess struct {
+	handler http.Handler
+	addr    string
+	srv     *http.Server
+	ln      net.Listener
+}
+
+func startReplica(h http.Handler) (*replicaProcess, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &replicaProcess{handler: h, addr: ln.Addr().String()}
+	p.serveOn(ln)
+	return p, nil
+}
+
+func (p *replicaProcess) serveOn(ln net.Listener) {
+	p.ln = ln
+	p.srv = &http.Server{Handler: p.handler}
+	go p.srv.Serve(ln)
+}
+
+// kill drops the replica: the listener closes and every open connection
+// is severed, exactly what a crashed process looks like from outside.
+func (p *replicaProcess) kill() { p.srv.Close() }
+
+// restart rebinds the same address. The port can linger briefly in the
+// kernel after the kill, so binding retries for a bounded window.
+func (p *replicaProcess) restart() error {
+	var lastErr error
+	for i := 0; i < 40; i++ {
+		ln, err := net.Listen("tcp", p.addr)
+		if err == nil {
+			p.serveOn(ln)
+			return nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("rebinding %s: %w", p.addr, lastErr)
+}
+
+func TestChaosReplicaKill(t *testing.T) {
+	rng := NewRand(t, 11)
+	base := BaseSeed(t)
+	windows := 160
+	if testing.Short() {
+		windows = 100
+	}
+	ds := data.Proteins(windows, 20, base)
+	numSeqs := len(ds.Sequences)
+	if numSeqs < 2 {
+		t.Fatalf("dataset generates %d sequences; the scenario needs at least 2", numSeqs)
+	}
+
+	// Single-node ground truth, precomputed so the traffic loops compare
+	// bytes without racing on the reference matcher.
+	ref, err := core.NewMatcher(dist.LevenshteinFastMeasure(), core.Config{
+		Params: core.Params{Lambda: 40, Lambda0: 1},
+	}, ds.Sequences)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 4
+	queries := make([]seq.Sequence[byte], 4)
+	want := make([][]shard.Match, len(queries))
+	for i := range queries {
+		queries[i] = data.RandomQuery(ds, 60, 0.1, data.MutateAA, base+uint64(900+i))
+		for _, m := range ref.FindAll(queries[i], eps) {
+			want[i] = append(want[i], shard.Match{
+				SeqID: m.SeqID, QStart: m.QStart, QEnd: m.QEnd,
+				XStart: m.XStart, XEnd: m.XEnd, Dist: m.Dist,
+			})
+		}
+	}
+
+	// A seed-drawn two-range partition, two replicas per range. Each
+	// replica gets its own matcher over the same slice — independent
+	// processes built from the same data, as in a real deployment.
+	plan, err := shard.RandomPlan(numSeqs, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plan: %d sequences over %d ranges %v, 2 replicas each", plan.Seqs, len(plan.Ranges), plan.Ranges)
+	const replicasPerRange = 2
+	procs := make([][]*replicaProcess, len(plan.Ranges))
+	groups := make([][]string, len(plan.Ranges))
+	for i, r := range plan.Ranges {
+		for j := 0; j < replicasPerRange; j++ {
+			p, err := startReplica(shardHandler(t, ds.Sequences[r.Lo:r.Hi], r.Lo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(p.kill)
+			procs[i] = append(procs[i], p)
+			groups[i] = append(groups[i], "http://"+p.addr)
+		}
+	}
+	gw, err := shard.NewReplicatedGateway(plan, groups,
+		shard.WithProbeInterval(25*time.Millisecond),
+		shard.WithBreaker(3, 150*time.Millisecond),
+		shard.WithHedgeAfter(250*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopProbing := gw.StartProbing()
+	defer stopProbing()
+	gts := httptest.NewServer(gw.Handler())
+	defer gts.Close()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Traffic: one goroutine per query, hammering the gateway until told
+	// to stop. Every single response must be a 200 with no degradation,
+	// bit-identical to the single node — replica loss is invisible.
+	var (
+		stop     atomic.Bool
+		served   atomic.Int64
+		errsMu   sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		errsMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stop.Store(true)
+		}
+		errsMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for qi := range queries {
+		wg.Add(1)
+		go func(qi int) {
+			defer wg.Done()
+			body := `{"query":` + string(mustJSON(t, string(queries[qi]))) + `,"eps":4}`
+			for !stop.Load() {
+				resp, err := client.Post(gts.URL+"/query/findall", "application/json", strings.NewReader(body))
+				if err != nil {
+					report(fmt.Errorf("query %d: %w", qi, err))
+					return
+				}
+				var out shard.MatchesResponse
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					report(fmt.Errorf("query %d: HTTP %d", qi, resp.StatusCode))
+					return
+				case derr != nil:
+					report(fmt.Errorf("query %d: decode: %w", qi, derr))
+					return
+				case out.Degradation != nil:
+					report(fmt.Errorf("query %d: replica loss leaked as degradation: %+v", qi, out.Degradation))
+					return
+				case len(out.Matches) != len(want[qi]) || (len(want[qi]) > 0 && !reflect.DeepEqual(out.Matches, want[qi])):
+					report(fmt.Errorf("query %d: answer diverged from single node (%d matches, want %d)", qi, len(out.Matches), len(want[qi])))
+					return
+				}
+				served.Add(1)
+			}
+		}(qi)
+	}
+
+	// breakerState polls the gateway's own /healthz roster — the same
+	// view an operator gets — for one replica's breaker.
+	breakerState := func(ri, pi int) string {
+		resp, err := client.Get(gts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h shard.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Ranges[ri].Replicas[pi].Breaker.State
+	}
+	waitForState := func(ri, pi int, state string, deadline time.Duration) {
+		t.Helper()
+		end := time.Now().Add(deadline)
+		for time.Now().Before(end) {
+			if stop.Load() {
+				return // traffic already failed; surface that error instead
+			}
+			if breakerState(ri, pi) == state {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("replica %d/%d breaker never reached %q", ri, pi, state)
+	}
+
+	// Warm-up with the full fleet, then kill a seed-chosen replica.
+	time.Sleep(150 * time.Millisecond)
+	ri, pi := rng.IntN(len(procs)), rng.IntN(replicasPerRange)
+	t.Logf("killing replica %d of range %d %s", pi, ri, plan.Ranges[ri])
+	procs[ri][pi].kill()
+
+	// The breaker must open on the dead replica while traffic flows on.
+	waitForState(ri, pi, "open", 10*time.Second)
+	beforeRestart := served.Load()
+
+	// Resurrect it on the same address; the prober must close the breaker.
+	if err := procs[ri][pi].restart(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("restarted replica %d of range %d at %s", pi, ri, procs[ri][pi].addr)
+	waitForState(ri, pi, "closed", 10*time.Second)
+
+	// Let traffic run against the healed fleet, then stop and settle.
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	errsMu.Lock()
+	defer errsMu.Unlock()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if total := served.Load(); total == 0 || total == beforeRestart {
+		t.Fatalf("traffic stalled: %d answers total, %d before restart", total, beforeRestart)
+	}
+	t.Logf("%d bit-identical answers across kill and restart", served.Load())
+}

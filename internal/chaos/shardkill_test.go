@@ -28,6 +28,16 @@ import (
 // protocol for a gateway to treat it as a real shard.
 func shardServer(t *testing.T, seqs []seq.Sequence[byte], base int) *httptest.Server {
 	t.Helper()
+	ts := httptest.NewServer(shardHandler(t, seqs, base))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// shardHandler builds the shard protocol handler alone, so scenarios
+// that need to kill and resurrect a replica on a fixed address (the
+// replica-kill scenario) can rebind it to fresh listeners.
+func shardHandler(t *testing.T, seqs []seq.Sequence[byte], base int) http.Handler {
+	t.Helper()
 	mt, err := core.NewMatcher(dist.LevenshteinFastMeasure(), core.Config{
 		Params: core.Params{Lambda: 40, Lambda0: 1},
 	}, seqs)
@@ -58,9 +68,7 @@ func shardServer(t *testing.T, seqs []seq.Sequence[byte], base int) *httptest.Se
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	ts := httptest.NewServer(mux)
-	t.Cleanup(ts.Close)
-	return ts
+	return mux
 }
 
 func TestChaosShardKill(t *testing.T) {

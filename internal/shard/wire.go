@@ -109,15 +109,26 @@ func ValidBatchKind(kind string) bool {
 
 // --- Degradation: typed partial failure ---
 
-// ShardFailure records one shard that could not answer a query. Status
-// is the HTTP status the shard returned, or 0 when the failure was at
-// the transport (connection refused, timeout).
+// ShardFailure records one shard range that could not answer a query.
+// Status is the HTTP status the shard returned, or 0 when the failure
+// was at the transport (connection refused, timeout). With replicated
+// ranges a failure means *every* replica of the range failed; Replicas
+// then itemises each replica's own error, and Addr lists the whole set.
 type ShardFailure struct {
-	Shard  int    `json:"shard"`
-	Range  Range  `json:"range"`
-	Addr   string `json:"addr"`
-	Status int    `json:"status,omitempty"`
-	Error  string `json:"error"`
+	Shard    int            `json:"shard"`
+	Range    Range          `json:"range"`
+	Addr     string         `json:"addr"`
+	Status   int            `json:"status,omitempty"`
+	Error    string         `json:"error"`
+	Replicas []ReplicaError `json:"replicas,omitempty"`
+}
+
+// ReplicaError is one replica's contribution to a range failure.
+type ReplicaError struct {
+	Replica int    `json:"replica"`
+	Addr    string `json:"addr"`
+	Status  int    `json:"status,omitempty"`
+	Error   string `json:"error"`
 }
 
 func (f ShardFailure) String() string {
@@ -125,6 +136,49 @@ func (f ShardFailure) String() string {
 		return fmt.Sprintf("shard %d %s (%s): HTTP %d: %s", f.Shard, f.Range, f.Addr, f.Status, f.Error)
 	}
 	return fmt.Sprintf("shard %d %s (%s): %s", f.Shard, f.Range, f.Addr, f.Error)
+}
+
+// --- Health reporting: breaker state on the wire ---
+
+// BreakerStatus is one replica breaker's snapshot as /healthz and
+// /stats report it: the state name ("closed", "open", "half-open"), the
+// current consecutive-failure streak, and the last error observed.
+type BreakerStatus struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// ReplicaHealth is one replica's health line. OK is the live probe
+// verdict on /healthz and the breaker-closed verdict on /stats (which
+// does not probe).
+type ReplicaHealth struct {
+	Replica int           `json:"replica"`
+	Addr    string        `json:"addr"`
+	OK      bool          `json:"ok"`
+	Breaker BreakerStatus `json:"breaker"`
+}
+
+// RangeHealth is one shard range's replica roster: the range is up
+// while any replica is.
+type RangeHealth struct {
+	Shard    int             `json:"shard"`
+	Range    Range           `json:"range"`
+	Up       int             `json:"up"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// HealthzResponse answers GET /healthz on the gateway. OK (and HTTP
+// 200) holds while at least one range can answer at all; FullCoverage
+// additionally requires every range up — an operator watching a sick
+// fleet sees full_coverage drop (and the per-replica breaker detail
+// name the culprit) while ok still holds.
+type HealthzResponse struct {
+	OK           bool          `json:"ok"`
+	ShardsUp     int           `json:"shards_up"`
+	Shards       int           `json:"shards"`
+	FullCoverage bool          `json:"full_coverage"`
+	Ranges       []RangeHealth `json:"ranges"`
 }
 
 // Degradation marks a merged response assembled without every shard:
