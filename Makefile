@@ -3,7 +3,7 @@
 GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke shard-smoke replica-smoke chaos-smoke fmt fmt-fix vet check docs-check
+.PHONY: all build test test-short bench bench-smoke serve-smoke snapshot-smoke shard-smoke replica-smoke cache-smoke chaos-smoke fmt fmt-fix vet check docs-check
 
 all: check
 
@@ -68,6 +68,16 @@ shard-smoke:
 # (TestReplicaSmokeBinary drives the whole flow).
 replica-smoke:
 	$(GO) test -run TestReplicaSmokeBinary -count=1 -v ./cmd/subseqctl
+
+# cache-smoke is the result-cache end-to-end check: build the real
+# subseqctl binary, start a 2-ranges × 2-replicas fleet behind a gateway
+# with the result cache on (-cache-size/-cache-ttl), warm a hot query and
+# see it hit on /stats, retire its sequence through the gateway's admin
+# fan-out (both replicas ack, epoch bump, invalidation counter), and
+# verify the next answer is the post-write truth — never the cached
+# bytes (TestCacheSmokeBinary drives the whole flow).
+cache-smoke:
+	$(GO) test -run TestCacheSmokeBinary -count=1 -v ./cmd/subseqctl
 
 # chaos-smoke drives the fault-injection harness (internal/chaos) under
 # the race detector on a CI time budget: worker kills mid-claim, evaluator

@@ -8,7 +8,11 @@ package subseq_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -19,6 +23,7 @@ import (
 	"repro/internal/metric"
 	"repro/internal/refnet"
 	"repro/internal/seq"
+	"repro/internal/shard"
 )
 
 // sinkRows prevents the compiler from discarding experiment results.
@@ -603,4 +608,83 @@ func BenchmarkStoreAppend(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	wg.Wait()
+}
+
+// BenchmarkGatewayHotQuery prices the gateway result cache on its
+// design workload: one hot findall query hammered through a two-shard
+// fleet. With the cache off every request scatters to the shards and
+// recomputes the query; with it on, every request after the first is a
+// canonical-key cache hit served from gateway memory. The ratio of the
+// two sub-benchmarks is the hit-path latency reduction (the acceptance
+// floor is 5×).
+func BenchmarkGatewayHotQuery(b *testing.B) {
+	ds := data.Proteins(160, 20, 1)
+	numSeqs := len(ds.Sequences)
+	plan, err := shard.Partition(numSeqs, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := subseq.Config{Params: subseq.Params{Lambda: 40, Lambda0: 1}}
+	newShard := func(lo, hi int) *httptest.Server {
+		st, err := subseq.NewStore(dist.LevenshteinFastMeasure(), cfg, ds.Sequences[lo:hi])
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := st.Matcher()
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /query/findall", func(w http.ResponseWriter, r *http.Request) {
+			var req struct {
+				Query string  `json:"query"`
+				Eps   float64 `json:"eps"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			ms := mt.FindAll(seq.Sequence[byte](req.Query), req.Eps)
+			out := shard.MatchesResponse{Count: len(ms), Matches: make([]shard.Match, len(ms))}
+			for i, m := range ms {
+				out.Matches[i] = shard.Match{
+					SeqID: m.SeqID + lo, QStart: m.QStart, QEnd: m.QEnd,
+					XStart: m.XStart, XEnd: m.XEnd, Dist: m.Dist,
+				}
+			}
+			json.NewEncoder(w).Encode(out)
+		})
+		ts := httptest.NewServer(mux)
+		b.Cleanup(ts.Close)
+		return ts
+	}
+	urls := make([]string, len(plan.Ranges))
+	for i, r := range plan.Ranges {
+		urls[i] = newShard(r.Lo, r.Hi).URL
+	}
+	body := []byte(fmt.Sprintf(`{"query":%q,"eps":4}`, string(ds.Sequences[0][:60])))
+	run := func(b *testing.B, opts ...shard.GatewayOption) {
+		gw, err := shard.NewGateway(plan, urls, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gts := httptest.NewServer(gw.Handler())
+		defer gts.Close()
+		client := gts.Client()
+		post := func() {
+			resp, err := client.Post(gts.URL+"/query/findall", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || n == 0 {
+				b.Fatalf("findall answered %d with %d bytes", resp.StatusCode, n)
+			}
+		}
+		post() // warm: the cached run measures pure hits
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post()
+		}
+	}
+	b.Run("Uncached", func(b *testing.B) { run(b) })
+	b.Run("Cached", func(b *testing.B) { run(b, shard.WithCache(64<<20, 0)) })
 }

@@ -30,8 +30,13 @@ import (
 // each range is served by N interchangeable processes, routed by
 // per-replica circuit breakers with background health probing, failover
 // on error and an optional hedged second read (-hedge-after) — one
-// replica loss is then masked entirely. docs/SHARDING.md documents the
-// topology end to end.
+// replica loss is then masked entirely. Merged answers are kept in a
+// bounded result cache (-cache-size/-cache-ttl) keyed by endpoint,
+// shard-plan epoch and canonical body; /admin/append, /admin/retire and
+// /admin/snapshot are accepted too, fanned out to every replica of the
+// owning range with quorum accounting, and every acknowledged write
+// bumps the epoch — invalidating the whole cache so no stale answer can
+// be served. docs/SHARDING.md documents the topology end to end.
 
 // defaultGatewayAddr deliberately differs from registry.DefaultServeAddr
 // so a gateway and a shard can share a host with no flags.
@@ -47,6 +52,8 @@ func cmdGateway(args []string) {
 	replicasPerRange := fs.Int("replicas", 1, "replicas per shard range: consecutive -shard URLs are grouped N at a time")
 	hedgeAfter := fs.Duration("hedge-after", 100*time.Millisecond, "launch a hedged read to another replica when the first has been in flight this long (0 disables hedging)")
 	probeInterval := fs.Duration("probe-interval", 2*time.Second, "background health-probe period per replica (0 disables probing)")
+	cacheSize := fs.Int64("cache-size", 64<<20, "result-cache byte budget for merged answers (0 disables the cache)")
+	cacheTTL := fs.Duration("cache-ttl", time.Minute, "result-cache entry TTL; writes through the gateway invalidate regardless, the TTL only bounds staleness from mutations that bypass it (0 keeps entries until eviction or invalidation)")
 	fs.Parse(args)
 	if len(shards) == 0 {
 		fail(errors.New("gateway needs at least one -shard URL"))
@@ -74,7 +81,8 @@ func cmdGateway(args []string) {
 	}
 	gw, err := shard.NewReplicatedGateway(plan, groups,
 		shard.WithPost(rc.postJSON), shard.WithGet(get),
-		shard.WithHedgeAfter(*hedgeAfter), shard.WithProbeInterval(*probeInterval))
+		shard.WithHedgeAfter(*hedgeAfter), shard.WithProbeInterval(*probeInterval),
+		shard.WithCache(*cacheSize, *cacheTTL))
 	if err != nil {
 		fail(err)
 	}
@@ -84,6 +92,9 @@ func cmdGateway(args []string) {
 	}
 	for i, r := range plan.Ranges {
 		fmt.Printf("subseqctl: gateway shard %d %s at %s\n", i, r, strings.Join(gw.Replicas()[i], ", "))
+	}
+	if *cacheSize > 0 {
+		fmt.Printf("subseqctl: gateway result cache %d bytes, ttl %s\n", *cacheSize, *cacheTTL)
 	}
 	fmt.Printf("subseqctl: gateway over %d shards (%d sequences) on http://%s\n",
 		len(plan.Ranges), plan.Seqs, ln.Addr())

@@ -610,7 +610,8 @@ func TestReplicaGroups(t *testing.T) {
 // `make shard-smoke`: two real shard serve processes, a real gateway
 // discovering the plan from their /stats, per-kind and batch queries
 // through the gateway (findall checked bit-identical against the
-// library), then one shard killed outright — the fleet must keep
+// library), then one shard killed outright — the warm query must keep
+// answering undegraded from the result cache, a cold query must keep
 // answering 200 with the dead shard named in the degradation block, and
 // the gateway must still shut down cleanly on SIGTERM.
 func TestShardSmokeBinary(t *testing.T) {
@@ -693,11 +694,26 @@ func TestShardSmokeBinary(t *testing.T) {
 		t.Fatalf("batch answered %d queries, want 2", br.Count)
 	}
 
-	// Kill shard p1 outright: the fleet keeps serving, degraded.
+	// Kill shard p1 outright. The warm query was cached while the fleet
+	// was healthy, so it keeps answering 200 with no degradation — the
+	// result cache masks the dead shard for hot keys.
 	cmdB.Process.Kill()
 	cmdB.Wait()
+	var warm shard.MatchesResponse
+	if code := post("/query/findall", body, &warm); code != http.StatusOK {
+		t.Fatalf("cached findall with a dead shard: status %d, want 200", code)
+	}
+	if warm.Degradation != nil {
+		t.Fatalf("cached findall degraded after kill: %+v", warm.Degradation)
+	}
+	if !reflect.DeepEqual(warm.Matches, fa.Matches) {
+		t.Fatalf("cached findall after kill %v, want the pre-kill answer %v", warm.Matches, fa.Matches)
+	}
+	// A cold query must recompute, keep serving 200, and name the dead
+	// shard in the degradation block.
 	var deg shard.MatchesResponse
-	if code := post("/query/findall", body, &deg); code != http.StatusOK {
+	coldBody := fmt.Sprintf(`{"query":%q,"eps":2}`, q0)
+	if code := post("/query/findall", coldBody, &deg); code != http.StatusOK {
 		t.Fatalf("findall with a dead shard: status %d, want 200", code)
 	}
 	if deg.Degradation == nil || !deg.Degradation.Degraded || len(deg.Degradation.Failures) != 1 {

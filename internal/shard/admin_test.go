@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// adminShard is a fake replica recording which admin writes reached it.
+type adminShard struct {
+	mu      sync.Mutex
+	appends int
+	retires int
+	paths   []string // snapshot targets received
+	seqID   int      // allocated ID reported by /admin/append
+	status  int      // admin verdict; 200 acks, 409 refuses, etc.
+	srv     *httptest.Server
+}
+
+func newAdminShard(t *testing.T, seqID, status int) *adminShard {
+	t.Helper()
+	as := &adminShard{seqID: seqID, status: status}
+	mux := http.NewServeMux()
+	reply := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if as.status != http.StatusOK {
+			w.WriteHeader(as.status)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "refused"})
+			return
+		}
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("POST /admin/append", func(w http.ResponseWriter, r *http.Request) {
+		as.mu.Lock()
+		as.appends++
+		as.mu.Unlock()
+		reply(w, map[string]any{"seq_id": as.seqID, "windows_added": 3})
+	})
+	mux.HandleFunc("POST /admin/retire", func(w http.ResponseWriter, r *http.Request) {
+		as.mu.Lock()
+		as.retires++
+		as.mu.Unlock()
+		reply(w, map[string]any{"retired": true})
+	})
+	mux.HandleFunc("POST /admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Path string `json:"path"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		as.mu.Lock()
+		as.paths = append(as.paths, req.Path)
+		as.mu.Unlock()
+		reply(w, map[string]any{"path": req.Path, "bytes": 1})
+	})
+	as.srv = httptest.NewServer(mux)
+	t.Cleanup(as.srv.Close)
+	return as
+}
+
+func (as *adminShard) counts() (appends, retires int) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.appends, as.retires
+}
+
+// adminFleet builds a 2-ranges × 2-replicas gateway over fake replicas.
+// Appends allocate global ID 4 (the tail range [2,4) growing to [2,5)).
+func adminFleet(t *testing.T) (*Gateway, [][]*adminShard) {
+	t.Helper()
+	shards := make([][]*adminShard, 2)
+	groups := make([][]string, 2)
+	for i := range shards {
+		for j := 0; j < 2; j++ {
+			as := newAdminShard(t, 4, http.StatusOK)
+			shards[i] = append(shards[i], as)
+			groups[i] = append(groups[i], as.srv.URL)
+		}
+	}
+	g, err := NewReplicatedGateway(mustPlan(t, 4, []Range{{0, 2}, {2, 4}}), groups, WithCache(1<<20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shards
+}
+
+func decodeAdmin(t *testing.T, b []byte) AdminFanoutResponse {
+	t.Helper()
+	var ar AdminFanoutResponse
+	if err := json.Unmarshal(b, &ar); err != nil {
+		t.Fatalf("decoding admin response: %v: %s", err, b)
+	}
+	return ar
+}
+
+func TestAdminAppendFansToTailRangeAndGrowsPlan(t *testing.T) {
+	g, shards := adminFleet(t)
+	rec, b := doPost(t, g.Handler(), "/admin/append", `{"sequence":"abcdef"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append: %d: %s", rec.Code, b)
+	}
+	ar := decodeAdmin(t, b)
+	if ar.Op != "append" || ar.Acks != 2 || ar.Replicas != 2 || !ar.Quorum || ar.Diverged {
+		t.Fatalf("append fan-out: %+v", ar)
+	}
+	if ar.Shard == nil || *ar.Shard != 1 || ar.SeqID == nil || *ar.SeqID != 4 {
+		t.Fatalf("append ownership: shard %v seq %v", ar.Shard, ar.SeqID)
+	}
+	if ar.Epoch != 1 {
+		t.Fatalf("epoch after append = %d", ar.Epoch)
+	}
+	// Only the tail range's replicas may see the write — both of them.
+	for j, as := range shards[0] {
+		if a, _ := as.counts(); a != 0 {
+			t.Errorf("range 0 replica %d got %d appends", j, a)
+		}
+	}
+	for j, as := range shards[1] {
+		if a, _ := as.counts(); a != 1 {
+			t.Errorf("range 1 replica %d got %d appends, want 1", j, a)
+		}
+	}
+	// The plan grew: global ID 4 now exists, so retiring it must route.
+	if p := g.Plan(); p.Seqs != 5 || p.Ranges[1].Hi != 5 {
+		t.Fatalf("plan after append: %+v", p)
+	}
+	rec, b = doPost(t, g.Handler(), "/admin/retire", `{"seq_id":4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retire of appended id: %d: %s", rec.Code, b)
+	}
+	if ar := decodeAdmin(t, b); ar.Shard == nil || *ar.Shard != 1 || ar.Epoch != 2 {
+		t.Fatalf("retire of appended id: %+v", ar)
+	}
+}
+
+func TestAdminRetireRoutesToOwningRange(t *testing.T) {
+	g, shards := adminFleet(t)
+	rec, b := doPost(t, g.Handler(), "/admin/retire", `{"seq_id":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retire: %d: %s", rec.Code, b)
+	}
+	ar := decodeAdmin(t, b)
+	if ar.Shard == nil || *ar.Shard != 0 || ar.Acks != 2 || !ar.Quorum {
+		t.Fatalf("retire fan-out: %+v", ar)
+	}
+	for j, as := range shards[0] {
+		if _, r := as.counts(); r != 1 {
+			t.Errorf("range 0 replica %d got %d retires, want 1", j, r)
+		}
+	}
+	for j, as := range shards[1] {
+		if _, r := as.counts(); r != 0 {
+			t.Errorf("range 1 replica %d got %d retires", j, r)
+		}
+	}
+}
+
+func TestAdminRetireRejectsUnownedID(t *testing.T) {
+	g, shards := adminFleet(t)
+	for _, body := range []string{`{"seq_id":99}`, `{"seq_id":-1}`, `{}`, `not json`} {
+		rec, b := doPost(t, g.Handler(), "/admin/retire", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("retire %s: status %d: %s", body, rec.Code, b)
+		}
+	}
+	if g.Epoch() != 0 {
+		t.Fatalf("rejected retires bumped the epoch to %d", g.Epoch())
+	}
+	for i := range shards {
+		for j, as := range shards[i] {
+			if _, r := as.counts(); r != 0 {
+				t.Errorf("replica %d/%d saw a rejected retire", i, j)
+			}
+		}
+	}
+}
+
+func TestAdminWriteQuorumAccountingUnderReplicaLoss(t *testing.T) {
+	g, shards := adminFleet(t)
+	shards[0][1].srv.Close() // one replica of the owning range is dead
+	rec, b := doPost(t, g.Handler(), "/admin/retire", `{"seq_id":0}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partially-acked write should still answer 200: %d: %s", rec.Code, b)
+	}
+	ar := decodeAdmin(t, b)
+	if ar.Acks != 1 || ar.Replicas != 2 || ar.Quorum {
+		t.Fatalf("quorum accounting: %+v", ar)
+	}
+	var dead *AdminReplicaResult
+	for i := range ar.Results {
+		if !ar.Results[i].OK {
+			dead = &ar.Results[i]
+		}
+	}
+	if dead == nil || dead.Error == "" {
+		t.Fatalf("dead replica not itemised: %+v", ar.Results)
+	}
+	if ar.Epoch != 1 {
+		t.Fatalf("an acked write must still invalidate: epoch %d", ar.Epoch)
+	}
+}
+
+func TestAdminZeroAckPassesClientErrorVerbatim(t *testing.T) {
+	// Both replicas refuse with 409 (e.g. covertree's unsupported
+	// retire): the verdict passes through and nothing is invalidated.
+	as0 := newAdminShard(t, 4, http.StatusConflict)
+	as1 := newAdminShard(t, 4, http.StatusConflict)
+	g, err := NewReplicatedGateway(mustPlan(t, 2, []Range{{0, 2}}),
+		[][]string{{as0.srv.URL, as1.srv.URL}}, WithCache(1<<20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, b := doPost(t, g.Handler(), "/admin/retire", `{"seq_id":0}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status %d, want 409: %s", rec.Code, b)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(b, &er); err != nil || er.Error == "" {
+		t.Fatalf("pass-through body not the shard's envelope: %s", b)
+	}
+	if g.Epoch() != 0 {
+		t.Fatalf("refused write bumped the epoch to %d", g.Epoch())
+	}
+}
+
+func TestAdminZeroAckAllDeadIs502(t *testing.T) {
+	dead0 := httptest.NewServer(http.NotFoundHandler())
+	dead0.Close()
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead1.Close()
+	g, err := NewReplicatedGateway(mustPlan(t, 2, []Range{{0, 2}}),
+		[][]string{{dead0.URL, dead1.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, b := doPost(t, g.Handler(), "/admin/append", `{"sequence":"abc"}`)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502: %s", rec.Code, b)
+	}
+	if g.Epoch() != 0 {
+		t.Fatalf("failed write bumped the epoch to %d", g.Epoch())
+	}
+}
+
+func TestAdminSnapshotFansToWholeFleet(t *testing.T) {
+	g, shards := adminFleet(t)
+	rec, b := doPost(t, g.Handler(), "/admin/snapshot", `{"path":"/tmp/fleet.snap"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot: %d: %s", rec.Code, b)
+	}
+	ar := decodeAdmin(t, b)
+	if ar.Op != "snapshot" || ar.Acks != 4 || ar.Replicas != 4 || !ar.Quorum {
+		t.Fatalf("snapshot fan-out: %+v", ar)
+	}
+	if ar.Epoch != 0 {
+		t.Fatalf("snapshot bumped the epoch to %d", ar.Epoch)
+	}
+	seen := map[string]bool{}
+	for i := range shards {
+		for j, as := range shards[i] {
+			as.mu.Lock()
+			paths := append([]string(nil), as.paths...)
+			as.mu.Unlock()
+			if len(paths) != 1 {
+				t.Fatalf("replica %d/%d got %d snapshot calls", i, j, len(paths))
+			}
+			if seen[paths[0]] {
+				t.Fatalf("snapshot path %q reused across replicas", paths[0])
+			}
+			seen[paths[0]] = true
+		}
+	}
+	for _, res := range ar.Results {
+		if res.Path == "" || !res.OK {
+			t.Fatalf("snapshot result missing path or ack: %+v", res)
+		}
+	}
+}

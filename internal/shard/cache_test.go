@@ -1,0 +1,433 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- canonical key ---
+
+func TestCacheKeyCanonicalisation(t *testing.T) {
+	const path, epoch = "/query/findall", 7
+	key := func(body string) string {
+		t.Helper()
+		k, err := CacheKey(path, epoch, []byte(body))
+		if err != nil {
+			t.Fatalf("CacheKey(%q): %v", body, err)
+		}
+		return k
+	}
+	equal := []struct{ name, a, b string }{
+		{"whitespace is noise", `{"query":"abc","eps":2}`, ` { "query" : "abc" , "eps" : 2 } `},
+		{"key order is noise", `{"query":"abc","eps":2}`, `{"eps":2,"query":"abc"}`},
+		{"nested key order is noise", `{"q":{"a":1,"b":[1,2]}}`, `{"q":{"b":[1,2],"a":1}}`},
+		{"duplicate keys collapse last-wins, as the shards decode them",
+			`{"eps":1,"eps":2,"query":"abc"}`, `{"query":"abc","eps":2}`},
+	}
+	for _, tc := range equal {
+		t.Run(tc.name, func(t *testing.T) {
+			if key(tc.a) != key(tc.b) {
+				t.Errorf("keys differ:\n  %q\n  %q", tc.a, tc.b)
+			}
+		})
+	}
+	distinct := []struct{ name, a, b string }{
+		{"different eps", `{"query":"abc","eps":2}`, `{"query":"abc","eps":3}`},
+		{"different query", `{"query":"abc","eps":2}`, `{"query":"abd","eps":2}`},
+		{"number literals stay verbatim", `{"eps":1}`, `{"eps":1.0}`},
+		{"null is not absent", `{"query":null}`, `{}`},
+		{"null is not empty string", `{"query":null}`, `{"query":""}`},
+		{"empty string is not empty array", `{"query":""}`, `{"query":[]}`},
+		{"empty array is not null", `{"query":[]}`, `{"query":null}`},
+	}
+	for _, tc := range distinct {
+		t.Run(tc.name, func(t *testing.T) {
+			if key(tc.a) == key(tc.b) {
+				t.Errorf("distinct bodies collide: %q vs %q", tc.a, tc.b)
+			}
+		})
+	}
+
+	// Path and epoch are part of the key.
+	body := []byte(`{"query":"abc","eps":2}`)
+	k1, _ := CacheKey("/query/findall", 1, body)
+	k2, _ := CacheKey("/query/filter", 1, body)
+	k3, _ := CacheKey("/query/findall", 2, body)
+	if k1 == k2 || k1 == k3 {
+		t.Errorf("path/epoch not separating keys: %q %q %q", k1, k2, k3)
+	}
+}
+
+func TestCacheKeyRejectsNonCanonicalisableBodies(t *testing.T) {
+	for _, body := range []string{"", "not json", `{"a":1} trailing`, `{"a":}`} {
+		if _, err := CacheKey("/query/findall", 0, []byte(body)); err == nil {
+			t.Errorf("CacheKey accepted %q", body)
+		}
+	}
+}
+
+// --- LRU / TTL / flush mechanics ---
+
+// sameSegmentKeys finds n keys hashing to one cache segment, so LRU
+// order inside that segment is deterministic to assert.
+func sameSegmentKeys(t *testing.T, n int) []string {
+	t.Helper()
+	var keys []string
+	for i := 0; len(keys) < n && i < 1_000_000; i++ {
+		k := fmt.Sprintf("k%06d", i)
+		if segIndex(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("found only %d same-segment keys", len(keys))
+	}
+	return keys
+}
+
+func TestCacheLRUEvictionWithinByteBudget(t *testing.T) {
+	// Per-segment budget 300 bytes; each entry is 7 (key) + 1 (body) +
+	// overhead = 136, so two fit and a third evicts the least recent.
+	c := NewCache(300*cacheSegments, 0)
+	k := sameSegmentKeys(t, 3)
+	c.Put(k[0], []byte("a"))
+	c.Put(k[1], []byte("b"))
+	if _, ok := c.Get(k[0]); !ok { // refresh k0: k1 is now least recent
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put(k[2], []byte("c"))
+	if _, ok := c.Get(k[1]); ok {
+		t.Error("least-recently-used entry survived over budget")
+	}
+	if _, ok := c.Get(k[0]); !ok {
+		t.Error("recently-used entry evicted")
+	}
+	if _, ok := c.Get(k[2]); !ok {
+		t.Error("newest entry evicted")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("evictions=%d entries=%d, want 1 and 2", s.Evictions, s.Entries)
+	}
+	if s.Bytes <= 0 || s.Bytes > 300 {
+		t.Errorf("segment bytes %d outside (0, 300]", s.Bytes)
+	}
+}
+
+func TestCacheOversizedEntryIsNotStored(t *testing.T) {
+	c := NewCache(256*cacheSegments, 0)
+	c.Put("big", make([]byte, 4096))
+	if _, ok := c.Get("big"); ok {
+		t.Error("entry larger than a segment budget was cached")
+	}
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("stats after rejected put: %+v", s)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(1<<20, time.Second)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry missing before expiry")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 0 {
+		t.Errorf("expiry not counted as eviction: %+v", s)
+	}
+}
+
+func TestCacheFlushCountsInvalidations(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if n := c.Flush(); n != 10 {
+		t.Errorf("Flush dropped %d entries, want 10", n)
+	}
+	s := c.Stats()
+	if s.Invalidations != 10 || s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("stats after flush: %+v", s)
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("entry survived flush")
+	}
+}
+
+// --- single-flight + cache interaction ---
+
+// gatedShard is a fake shard whose findall handler blocks on a gate, so
+// a test can hold a flight open while more requests pile in. Admin
+// endpoints ack immediately.
+type gatedShard struct {
+	mu      sync.Mutex
+	calls   int // findall arrivals
+	status  int
+	gate    chan struct{}
+	entered chan struct{}
+	srv     *httptest.Server
+}
+
+func newGatedShard(t *testing.T, status int) *gatedShard {
+	t.Helper()
+	gs := &gatedShard{status: status, gate: make(chan struct{}), entered: make(chan struct{}, 64)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query/findall", func(w http.ResponseWriter, r *http.Request) {
+		gs.mu.Lock()
+		gs.calls++
+		gs.mu.Unlock()
+		gs.entered <- struct{}{}
+		<-gs.gate
+		w.Header().Set("Content-Type", "application/json")
+		if gs.status != http.StatusOK {
+			w.WriteHeader(gs.status)
+			json.NewEncoder(w).Encode(ErrorResponse{Error: "injected"})
+			return
+		}
+		json.NewEncoder(w).Encode(MatchesResponse{Count: 1, Matches: []Match{{SeqID: 0, QEnd: 3, XEnd: 3, Dist: 1}}})
+	})
+	ack := func(v any) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(v)
+		}
+	}
+	mux.HandleFunc("POST /admin/append", ack(map[string]any{"seq_id": 2, "windows_added": 1}))
+	mux.HandleFunc("POST /admin/retire", ack(map[string]any{"seq_id": 0, "retired": true}))
+	gs.srv = httptest.NewServer(mux)
+	t.Cleanup(gs.srv.Close)
+	return gs
+}
+
+func (gs *gatedShard) callCount() int {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.calls
+}
+
+// TestFlightCacheInteraction is the table the PR 10 issue asks for: how
+// the cache composes with the single-flight group. Each case runs one
+// round of concurrent identical queries against a gated shard, releases
+// the gate, then probes with one more identical query to see whether the
+// first round populated the cache.
+func TestFlightCacheInteraction(t *testing.T) {
+	cases := []struct {
+		name         string
+		concurrent   int
+		cancelLeader bool
+		shardStatus  int
+		deadRange    bool
+		wantStatus   int
+		wantRound1   int  // shard calls after round 1
+		wantCached   bool // probe answered from cache (no new shard call)
+	}{
+		{name: "miss populates cache, repeat hits it",
+			concurrent: 1, shardStatus: 200, wantStatus: 200, wantRound1: 1, wantCached: true},
+		{name: "in-flight identical misses join the leader's flight",
+			concurrent: 8, shardStatus: 200, wantStatus: 200, wantRound1: 1, wantCached: true},
+		{name: "cancelled leader neither poisons nor loses the answer",
+			concurrent: 1, cancelLeader: true, shardStatus: 200, wantStatus: 200, wantRound1: 1, wantCached: true},
+		{name: "failed flights are not cached",
+			concurrent: 1, shardStatus: 500, wantStatus: http.StatusBadGateway, wantRound1: 1, wantCached: false},
+		{name: "degraded answers are not cached",
+			concurrent: 1, shardStatus: 200, deadRange: true, wantStatus: 200, wantRound1: 1, wantCached: false},
+	}
+	const body = `{"query":"abc","eps":1}`
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gs := newGatedShard(t, tc.shardStatus)
+			urls := []string{gs.srv.URL}
+			ranges := []Range{{0, 2}}
+			if tc.deadRange {
+				dead := httptest.NewServer(http.NotFoundHandler())
+				dead.Close()
+				urls = append(urls, dead.URL)
+				ranges = append(ranges, Range{2, 4})
+			}
+			g, err := NewGateway(mustPlan(t, ranges[len(ranges)-1].Hi, ranges), urls,
+				WithCache(1<<20, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type reply struct {
+				code int
+				body string
+			}
+			replies := make(chan reply, tc.concurrent)
+			var cancel context.CancelFunc
+			for i := 0; i < tc.concurrent; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/query/findall", strings.NewReader(body))
+				if i == 0 && tc.cancelLeader {
+					var ctx context.Context
+					ctx, cancel = context.WithCancel(context.Background())
+					req = req.WithContext(ctx)
+				}
+				go func(req *http.Request) {
+					rec := httptest.NewRecorder()
+					g.Handler().ServeHTTP(rec, req)
+					replies <- reply{rec.Code, rec.Body.String()}
+				}(req)
+				if i == 0 {
+					// Let the leader's fan-out reach the shard before the
+					// followers start, so they find a flight to join. (If one
+					// raced in late it would hit the freshly populated cache
+					// instead — either way the shard computes once.)
+					<-gs.entered
+				}
+			}
+			if cancel != nil {
+				cancel() // leader's client goes away mid-flight
+				time.Sleep(20 * time.Millisecond)
+			}
+			close(gs.gate)
+			var got []reply
+			for i := 0; i < tc.concurrent; i++ {
+				got = append(got, <-replies)
+			}
+			for i, r := range got {
+				if r.code != tc.wantStatus {
+					t.Fatalf("reply %d: status %d, want %d (%s)", i, r.code, tc.wantStatus, r.body)
+				}
+				if r.body != got[len(got)-1].body {
+					t.Fatalf("reply %d differs from its flight peers", i)
+				}
+			}
+			if n := gs.callCount(); n != tc.wantRound1 {
+				t.Fatalf("shard computed %d times in round 1, want %d", n, tc.wantRound1)
+			}
+
+			// Probe: one more identical request. A cached answer must not
+			// reach the shard; an uncacheable one must.
+			done := make(chan reply, 1)
+			go func() {
+				rec := httptest.NewRecorder()
+				g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query/findall", strings.NewReader(body)))
+				done <- reply{rec.Code, rec.Body.String()}
+			}()
+			if !tc.wantCached {
+				<-gs.entered // the probe must fan out again
+			}
+			probe := <-done
+			wantCalls := tc.wantRound1
+			if !tc.wantCached {
+				wantCalls++
+			}
+			if n := gs.callCount(); n != wantCalls {
+				t.Fatalf("shard calls after probe = %d, want %d", n, wantCalls)
+			}
+			if probe.code != tc.wantStatus {
+				t.Fatalf("probe status %d, want %d (%s)", probe.code, tc.wantStatus, probe.body)
+			}
+			if tc.wantCached {
+				if cs, ok := g.CacheStats(); !ok || cs.Hits == 0 || cs.Entries != 1 {
+					t.Fatalf("cache stats after hit: %+v", cs)
+				}
+				// Cached bytes must be the flight's own answer, bit for bit.
+				if probe.body != got[len(got)-1].body {
+					t.Fatal("cached answer differs from the flight's answer")
+				}
+			}
+			if p := g.PendingFlights(); p != 0 {
+				t.Fatalf("%d flights leaked", p)
+			}
+		})
+	}
+}
+
+// TestWriteInvalidatesCache drives the full loop: warm the cache, mutate
+// through the gateway's admin fan-out, and prove the cached answer is
+// unreachable — the next identical query fans out afresh under the new
+// epoch.
+func TestWriteInvalidatesCache(t *testing.T) {
+	gs := newGatedShard(t, http.StatusOK)
+	close(gs.gate) // nothing gated in this test
+	g, err := NewGateway(mustPlan(t, 2, []Range{{0, 2}}), []string{gs.srv.URL}, WithCache(1<<20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const body = `{"query":"abc","eps":1}`
+	post := func(path, b string) (*httptest.ResponseRecorder, []byte) {
+		return doPost(t, g.Handler(), path, b)
+	}
+	post("/query/findall", body)
+	post("/query/findall", body)
+	drain := func() {
+		for {
+			select {
+			case <-gs.entered:
+			default:
+				return
+			}
+		}
+	}
+	drain()
+	if n := gs.callCount(); n != 1 {
+		t.Fatalf("warm-up computed %d times, want 1", n)
+	}
+	if g.Epoch() != 0 {
+		t.Fatalf("epoch %d before any write", g.Epoch())
+	}
+
+	rec, b := post("/admin/retire", `{"seq_id":0}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retire through gateway: %d: %s", rec.Code, b)
+	}
+	var ar AdminFanoutResponse
+	if err := json.Unmarshal(b, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 1 || ar.Invalidated != 1 || ar.Acks != 1 || !ar.Quorum {
+		t.Fatalf("retire fan-out: %+v", ar)
+	}
+	if g.Epoch() != 1 {
+		t.Fatalf("epoch %d after write, want 1", g.Epoch())
+	}
+
+	post("/query/findall", body)
+	drain()
+	if n := gs.callCount(); n != 2 {
+		t.Fatalf("post-write query computed %d times total, want 2 (fresh fan-out)", n)
+	}
+	cs, _ := g.CacheStats()
+	if cs.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", cs.Invalidations)
+	}
+}
+
+// TestNonJSONBodiesBypassCache: a body that is not one JSON value cannot
+// be canonically keyed; it must never be cached (the shards will judge
+// it), though identical concurrent copies still collapse by raw bytes.
+func TestNonJSONBodiesBypassCache(t *testing.T) {
+	gs := newGatedShard(t, http.StatusOK)
+	close(gs.gate)
+	g, err := NewGateway(mustPlan(t, 2, []Range{{0, 2}}), []string{gs.srv.URL}, WithCache(1<<20, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		doPost(t, g.Handler(), "/query/findall", "not json at all")
+	}
+	for i := 0; i < 2; i++ {
+		<-gs.entered
+	}
+	if n := gs.callCount(); n != 2 {
+		t.Fatalf("non-JSON body hit the cache: %d shard calls, want 2", n)
+	}
+	if cs, _ := g.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("non-JSON body was cached: %+v", cs)
+	}
+}

@@ -18,6 +18,10 @@ import "sync"
 type flightResult struct {
 	status int
 	body   []byte
+	// degraded marks an answer merged without every range. Such a result
+	// is still served to the flight's waiters but must never enter the
+	// result cache — the next attempt may get the complete answer.
+	degraded bool
 }
 
 // flightCall is one in-flight fan-out; done closes when res is set.
@@ -62,4 +66,12 @@ func (fg *flightGroup) do(key string, fn func() flightResult) (res flightResult,
 	}()
 	c.res = fn()
 	return c.res, false
+}
+
+// pending reports the number of in-flight keys — the leak probe tests
+// use: once traffic quiesces it must return to zero.
+func (fg *flightGroup) pending() int {
+	fg.mu.Lock()
+	defer fg.mu.Unlock()
+	return len(fg.m)
 }

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCacheKey hammers the canonical cache-key encoding with arbitrary
+// body pairs. The invariants are the ones the result cache's correctness
+// rests on:
+//
+//   - determinism: the same (path, epoch, body) always yields the same
+//     key — across calls, processes and sessions (nothing in the encoding
+//     may depend on map order, addresses or time);
+//   - idempotence: canonicalising a canonical body is the identity, so
+//     formatting variants of one query funnel to one key;
+//   - injectivity: two bodies share a key only if they decode to the
+//     same JSON value — i.e. only if the shards themselves could not
+//     tell them apart. Distinct queries never collide;
+//   - separation: the epoch and the path are always part of the key, so
+//     a write-path epoch bump strands every older entry.
+//
+// The seed corpus under testdata/fuzz/FuzzCacheKey pins the shapes that
+// bit PR 8's query decoder: JSON null vs empty string vs empty array,
+// number-literal variants (1 vs 1.0), duplicate keys and whitespace.
+func FuzzCacheKey(f *testing.F) {
+	seeds := [][2]string{
+		{`{"query":"ACDEFGHIKLMNPQRS","eps":2}`, `{"eps":2,"query":"ACDEFGHIKLMNPQRS"}`},
+		{`{"query":null}`, `{"query":""}`},
+		{`{"query":null}`, `{"query":[]}`},
+		{`{"query":""}`, `{}`},
+		{`{"eps":1}`, `{"eps":1.0}`},
+		{`{"eps":1e0}`, `{"eps":1}`},
+		{`{"query":"abc","eps":1,"eps":2}`, `{"query":"abc","eps":2}`},
+		{`{"query":[1,2,3,4.5,-6,7e2],"eps":0.5}`, ` {"eps":0.5,"query":[1,2,3,4.5,-6,7e2]} `},
+		{`{"query":[[0,1],[2.5,-3]],"eps_max":10}`, `{"query":[[0,1],[2.5,-3]],"eps_max":10}`},
+		{`{"kind":"findall","queries":["ab",null],"eps":2}`, `{"queries":["ab",null],"kind":"findall","eps":2}`},
+		{`not json`, ``},
+		{`{"a":1} trailing`, `{"a":1}`},
+		{"{\"query\":\" \\u0000\"}", `{"query":"x"}`},
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s[0]), []byte(s[1]), uint64(3))
+	}
+	f.Fuzz(func(t *testing.T, bodyA, bodyB []byte, epoch uint64) {
+		const path = "/query/findall"
+		keyA, errA := CacheKey(path, epoch, bodyA)
+		keyA2, errA2 := CacheKey(path, epoch, bodyA)
+		if (errA == nil) != (errA2 == nil) || keyA != keyA2 {
+			t.Fatalf("CacheKey not deterministic for %q: (%q,%v) vs (%q,%v)", bodyA, keyA, errA, keyA2, errA2)
+		}
+		if errA != nil {
+			return
+		}
+
+		// Idempotence: the canonical form canonicalises to itself, so it
+		// shares the original body's key.
+		canon, err := canonicalJSON(bodyA)
+		if err != nil {
+			t.Fatalf("canonicalJSON errored on its own input %q: %v", bodyA, err)
+		}
+		canon2, err := canonicalJSON(canon)
+		if err != nil || !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical form not a fixed point: %q → %q (%v)", canon, canon2, err)
+		}
+		// And it must still be valid JSON the shards would decode the
+		// same way.
+		if !json.Valid(canon) {
+			t.Fatalf("canonical form is not valid JSON: %q", canon)
+		}
+
+		// Separation: epoch and path always split the keyspace.
+		if k, err := CacheKey(path, epoch+1, bodyA); err != nil || k == keyA {
+			t.Fatalf("epoch bump did not change the key for %q", bodyA)
+		}
+		if k, err := CacheKey("/query/filter", epoch, bodyA); err != nil || k == keyA {
+			t.Fatalf("path did not change the key for %q", bodyA)
+		}
+
+		// Injectivity: a key collision is allowed only when the decoded
+		// values are indistinguishable to the shards.
+		keyB, errB := CacheKey(path, epoch, bodyB)
+		if errB != nil || keyA != keyB {
+			return
+		}
+		va, errVA := decodeGeneric(bodyA)
+		vb, errVB := decodeGeneric(bodyB)
+		if errVA != nil || errVB != nil {
+			t.Fatalf("canonicalisable body failed generic decode: %v / %v", errVA, errVB)
+		}
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("distinct queries collide:\n  %q\n  %q\n  key %q", bodyA, bodyB, keyA)
+		}
+	})
+}
+
+// decodeGeneric mirrors canonicalJSON's decoding (UseNumber, one value)
+// to define "indistinguishable to the shards" for the injectivity check.
+func decodeGeneric(raw []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	err := dec.Decode(&v)
+	return v, err
+}

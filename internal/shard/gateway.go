@@ -59,7 +59,11 @@ const maxGatewayBody = 8 << 20
 // replica set. Construct with NewGateway (one replica per range) or
 // NewReplicatedGateway; serve Handler(); optionally StartProbing().
 type Gateway struct {
-	plan     Plan
+	// planp holds the current plan behind an atomic pointer: admin
+	// appends grow the tail range (admin.go), and handlers read the plan
+	// lock-free. Mutations are serialised by adminMu.
+	planp    atomic.Pointer[Plan]
+	adminMu  sync.Mutex
 	replicas [][]string    // per range, cleaned base URLs
 	health   []*replicaSet // per range, breakers + round-robin cursor
 	post     PostFunc
@@ -73,6 +77,12 @@ type Gateway struct {
 	breakerCooldown  time.Duration
 
 	flight flightGroup
+	// cache holds merged 200-OK answers under canonical keys (cache.go);
+	// nil when caching is off. epoch is the shard-plan epoch every cache
+	// key embeds: admin.go bumps it on each acknowledged write, making
+	// every pre-write entry unreachable.
+	cache *Cache
+	epoch atomic.Uint64
 
 	queries      atomic.Int64
 	batches      atomic.Int64
@@ -83,6 +93,7 @@ type Gateway struct {
 	failovers    atomic.Int64
 	flightHits   atomic.Int64
 	flightMisses atomic.Int64
+	writes       atomic.Int64
 }
 
 // GatewayOption customises NewGateway.
@@ -106,6 +117,19 @@ func WithHedgeAfter(d time.Duration) GatewayOption { return func(g *Gateway) { g
 // by query traffic and /healthz requests alone.
 func WithProbeInterval(d time.Duration) GatewayOption {
 	return func(g *Gateway) { g.probeInterval = d }
+}
+
+// WithCache enables the gateway result cache: successful, undegraded
+// merged answers are kept under their canonical key (CacheKey) within a
+// total byte budget, evicted LRU within that budget and by TTL (ttl <= 0
+// keeps entries until eviction or write-path invalidation). maxBytes <= 0
+// disables the cache; single-flight collapse works either way.
+func WithCache(maxBytes int64, ttl time.Duration) GatewayOption {
+	return func(g *Gateway) {
+		if maxBytes > 0 {
+			g.cache = NewCache(maxBytes, ttl)
+		}
+	}
 }
 
 // WithBreaker tunes the per-replica circuit breakers: threshold
@@ -153,11 +177,11 @@ func NewReplicatedGateway(plan Plan, replicas [][]string, opts ...GatewayOption)
 		}
 	}
 	g := &Gateway{
-		plan:          plan,
 		replicas:      clean,
 		start:         time.Now(),
 		probeInterval: defaultProbeInterval,
 	}
+	g.planp.Store(&plan)
 	for _, o := range opts {
 		o(g)
 	}
@@ -190,6 +214,9 @@ func NewReplicatedGateway(plan Plan, replicas [][]string, opts ...GatewayOption)
 	mux.HandleFunc("POST /query/nearest", func(w http.ResponseWriter, r *http.Request) { g.handleBest(w, r, "nearest", BestNearest) })
 	mux.HandleFunc("POST /query/filter", g.handleFilter)
 	mux.HandleFunc("POST /query/batch", g.handleBatch)
+	mux.HandleFunc("POST /admin/append", g.handleAdminAppend)
+	mux.HandleFunc("POST /admin/retire", g.handleAdminRetire)
+	mux.HandleFunc("POST /admin/snapshot", g.handleAdminSnapshot)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux = mux
@@ -199,8 +226,29 @@ func NewReplicatedGateway(plan Plan, replicas [][]string, opts ...GatewayOption)
 // Handler returns the gateway's HTTP handler.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
-// Plan returns the partition the gateway scatters over.
-func (g *Gateway) Plan() Plan { return g.plan }
+// Plan returns the partition the gateway scatters over. It can grow:
+// every acknowledged append through the gateway extends the tail range.
+func (g *Gateway) Plan() Plan { return *g.planp.Load() }
+
+// rangeOf returns range i of the current plan.
+func (g *Gateway) rangeOf(i int) Range { return g.planp.Load().Ranges[i] }
+
+// Epoch returns the shard-plan epoch; every acknowledged admin write
+// through the gateway bumps it (and with it every cache key).
+func (g *Gateway) Epoch() uint64 { return g.epoch.Load() }
+
+// PendingFlights reports in-flight single-flight fan-outs — the leak
+// probe tests assert drains to zero once traffic quiesces.
+func (g *Gateway) PendingFlights() int { return g.flight.pending() }
+
+// CacheStats snapshots the result cache counters; ok is false when the
+// gateway runs without a cache.
+func (g *Gateway) CacheStats() (cs CacheCounters, ok bool) {
+	if g.cache == nil {
+		return CacheCounters{}, false
+	}
+	return g.cache.Stats(), true
+}
 
 // Replicas returns the per-range replica endpoints.
 func (g *Gateway) Replicas() [][]string { return g.replicas }
@@ -397,7 +445,7 @@ func classify[T any](g *Gateway, replies []rangeReply) (ok []*T, passThrough *sh
 		switch {
 		case rep.err != nil:
 			failures = append(failures, ShardFailure{
-				Shard: i, Range: g.plan.Ranges[i], Addr: g.rangeAddrs(i),
+				Shard: i, Range: g.rangeOf(i), Addr: g.rangeAddrs(i),
 				Error: rep.err.Error(), Replicas: rep.replicaErrs,
 			})
 		case rep.status >= 400 && rep.status < 500:
@@ -408,14 +456,14 @@ func classify[T any](g *Gateway, replies []rangeReply) (ok []*T, passThrough *sh
 			}
 		case rep.status != http.StatusOK:
 			failures = append(failures, ShardFailure{
-				Shard: i, Range: g.plan.Ranges[i], Addr: g.rangeAddrs(i),
+				Shard: i, Range: g.rangeOf(i), Addr: g.rangeAddrs(i),
 				Status: rep.status, Error: shardErrorText(rep.body),
 			})
 		default:
 			var v T
 			if err := json.Unmarshal(rep.body, &v); err != nil {
 				failures = append(failures, ShardFailure{
-					Shard: i, Range: g.plan.Ranges[i], Addr: g.rangeAddrs(i),
+					Shard: i, Range: g.rangeOf(i), Addr: g.rangeAddrs(i),
 					Status: rep.status, Error: fmt.Sprintf("undecodable response: %v", err),
 				})
 				continue
@@ -479,17 +527,36 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxGatewayBody))
 }
 
-// collapse runs the fan-out under single-flight: identical concurrent
-// queries (same endpoint, same body bytes) share one scatter and one
-// merged answer. The shared flight is detached from the leader's
-// request context so a leader that disconnects cannot fail its
-// followers; per-attempt cancellation inside askRange still works off
-// the detached context.
+// collapse answers one query through the cache and the single-flight
+// group, in that order. The key is the canonical CacheKey — endpoint,
+// current plan epoch, canonical body — so formatting variants of one
+// question share both the cache line and the flight, and a write-path
+// epoch bump reroutes every later request past all pre-write state. A
+// cache hit returns stored bytes without touching the fleet. A miss
+// joins (or leads) the flight for its key; the leader alone runs the
+// fan-out — detached from its request context, so a leader that
+// disconnects cannot fail its followers or poison the cache — and
+// populates the cache exactly once, only with a successful, undegraded
+// answer. Bodies that are not one JSON value cannot be canonicalised:
+// they still collapse by raw bytes but never cache.
 func (g *Gateway) collapse(ctx context.Context, path string, body []byte, compute func(ctx context.Context) flightResult) flightResult {
-	key := path + "\x00" + string(body)
+	key, kerr := CacheKey(path, g.epoch.Load(), body)
+	cacheable := kerr == nil && g.cache != nil
+	if kerr != nil {
+		key = path + "\x00" + string(body)
+	}
+	if cacheable {
+		if b, ok := g.cache.Get(key); ok {
+			return flightResult{status: http.StatusOK, body: b}
+		}
+	}
 	res, shared := g.flight.do(key, func() flightResult {
 		g.flightMisses.Add(1)
-		return compute(context.WithoutCancel(ctx))
+		r := compute(context.WithoutCancel(ctx))
+		if cacheable && r.status == http.StatusOK && !r.degraded {
+			g.cache.Put(key, r.body)
+		}
+		return r
 	})
 	if shared {
 		g.flightHits.Add(1)
@@ -526,7 +593,9 @@ func gatherResult[T any](g *Gateway, ctx context.Context, path string, body []by
 	if deg != nil {
 		g.degraded.Add(1)
 	}
-	return merge(ok, deg)
+	res := merge(ok, deg)
+	res.degraded = deg != nil
+	return res
 }
 
 // --- query handlers ---
@@ -653,7 +722,7 @@ func (g *Gateway) batchResult(ctx context.Context, body []byte, kind string, n i
 				deg = &Degradation{Degraded: true}
 			}
 			deg.Failures = append(deg.Failures, ShardFailure{
-				Shard: i, Range: g.plan.Ranges[i], Addr: g.rangeAddrs(i), Status: http.StatusOK,
+				Shard: i, Range: g.rangeOf(i), Addr: g.rangeAddrs(i), Status: http.StatusOK,
 				Error: fmt.Sprintf("batch answer mismatch: kind %q count %d (want %q × %d)", resp.Kind, resp.Count, kind, n),
 			})
 			g.shardErrors.Add(1)
@@ -700,7 +769,7 @@ func (g *Gateway) batchResult(ctx context.Context, body []byte, kind string, n i
 			out.Best[q] = BestResult{Found: b != nil, Match: b}
 		}
 	}
-	return flightResult{status: http.StatusOK, body: encodeJSON(out)}
+	return flightResult{status: http.StatusOK, body: encodeJSON(out), degraded: deg != nil}
 }
 
 // --- stats & health ---
@@ -736,10 +805,12 @@ type SingleFlightCounters struct {
 	Misses int64 `json:"misses"`
 }
 
-// GatewayCounters is the gateway's own request accounting.
+// GatewayCounters is the gateway's own request accounting. Writes counts
+// acknowledged admin mutations fanned out through the gateway.
 type GatewayCounters struct {
 	Queries      int64                `json:"queries"`
 	Batches      int64                `json:"batches"`
+	Writes       int64                `json:"writes"`
 	Degraded     int64                `json:"degraded"`
 	ShardErrors  int64                `json:"shard_errors"`
 	Hedges       int64                `json:"hedges"`
@@ -748,16 +819,19 @@ type GatewayCounters struct {
 	SingleFlight SingleFlightCounters `json:"single_flight"`
 }
 
-// GatewayStatsResponse is GET /stats on the gateway: the plan, each
-// range's own stats verbatim, cross-range totals, the per-replica
-// breaker roster, and the gateway's counters.
+// GatewayStatsResponse is GET /stats on the gateway: the plan and its
+// epoch, each range's own stats verbatim, cross-range totals, the
+// per-replica breaker roster, the gateway's counters and — when caching
+// is on — the result-cache counters.
 type GatewayStatsResponse struct {
 	Plan          Plan            `json:"plan"`
+	Epoch         uint64          `json:"epoch"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Shards        []ShardStats    `json:"shards"`
 	Replication   []RangeHealth   `json:"replication"`
 	Totals        StatsTotals     `json:"totals"`
 	Gateway       GatewayCounters `json:"gateway"`
+	Cache         *CacheCounters  `json:"cache,omitempty"`
 	Degradation   *Degradation    `json:"degradation,omitempty"`
 }
 
@@ -775,7 +849,7 @@ type statsSubset struct {
 // breaker-preferred order, returning on the first success.
 func (g *Gateway) fetchRangeStats(ctx context.Context, ri int) ShardStats {
 	set := g.health[ri]
-	ss := ShardStats{Shard: ri, Range: g.plan.Ranges[ri], Addr: g.rangeAddrs(ri)}
+	ss := ShardStats{Shard: ri, Range: g.rangeOf(ri), Addr: g.rangeAddrs(ri)}
 	var errs []string
 	for _, idx := range set.order(time.Now()) {
 		res, err := g.get(ctx, set.addrs[idx]+"/stats")
@@ -805,13 +879,15 @@ func (g *Gateway) fetchRangeStats(ctx context.Context, ri int) ShardStats {
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	resp := GatewayStatsResponse{
-		Plan:          g.plan,
+		Plan:          g.Plan(),
+		Epoch:         g.epoch.Load(),
 		UptimeSeconds: time.Since(g.start).Seconds(),
 		Shards:        make([]ShardStats, len(g.replicas)),
 		Replication:   make([]RangeHealth, len(g.replicas)),
 		Gateway: GatewayCounters{
 			Queries:     g.queries.Load(),
 			Batches:     g.batches.Load(),
+			Writes:      g.writes.Load(),
 			Degraded:    g.degraded.Load(),
 			ShardErrors: g.shardErrors.Load(),
 			Hedges:      g.hedges.Load(),
@@ -823,9 +899,13 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			},
 		},
 	}
+	if g.cache != nil {
+		cs := g.cache.Stats()
+		resp.Cache = &cs
+	}
 	var wg sync.WaitGroup
 	for i := range g.replicas {
-		resp.Replication[i] = g.health[i].health(i, g.plan.Ranges[i], now, nil)
+		resp.Replication[i] = g.health[i].health(i, g.rangeOf(i), now, nil)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -863,7 +943,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	resp := HealthzResponse{Shards: len(g.replicas), Ranges: make([]RangeHealth, len(g.replicas))}
 	for i := range g.replicas {
-		rh := g.health[i].health(i, g.plan.Ranges[i], now, probeOK[i])
+		rh := g.health[i].health(i, g.rangeOf(i), now, probeOK[i])
 		resp.Ranges[i] = rh
 		if rh.Up > 0 {
 			resp.ShardsUp++

@@ -107,6 +107,59 @@ func ValidBatchKind(kind string) bool {
 	return false
 }
 
+// --- Admin write fan-out (admin.go) ---
+
+// AdminReplicaResult is one replica's outcome in a gateway write
+// fan-out. Response carries the replica's own answer verbatim (the
+// single-node appendResponse/retireResponse/snapshotResponse); Path is
+// set for snapshots (the per-replica target the gateway substituted).
+type AdminReplicaResult struct {
+	Shard    int             `json:"shard"`
+	Replica  int             `json:"replica"`
+	Addr     string          `json:"addr"`
+	OK       bool            `json:"ok"`
+	Status   int             `json:"status,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Path     string          `json:"path,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// AdminFanoutResponse answers POST /admin/{append,retire,snapshot} on
+// the gateway: the owning range (append/retire), the global sequence ID
+// the write concerned, quorum accounting over the fan-out, the plan
+// epoch after the write and how many cached answers the write
+// invalidated. Diverged flags acked replicas disagreeing on the
+// allocated ID — split brain an operator must heal.
+type AdminFanoutResponse struct {
+	Op          string               `json:"op"`
+	Shard       *int                 `json:"shard,omitempty"`
+	Range       *Range               `json:"range,omitempty"`
+	SeqID       *int                 `json:"seq_id,omitempty"`
+	Acks        int                  `json:"acks"`
+	Replicas    int                  `json:"replicas"`
+	Quorum      bool                 `json:"quorum"`
+	Diverged    bool                 `json:"diverged,omitempty"`
+	Epoch       uint64               `json:"epoch"`
+	Invalidated int                  `json:"invalidated,omitempty"`
+	Results     []AdminReplicaResult `json:"results"`
+}
+
+// --- Result cache (cache.go) ---
+
+// CacheCounters reports the gateway result cache on /stats: traffic
+// (hits/misses), pressure (evictions against the byte budget, current
+// residency), write-path invalidations, and the configured limits.
+type CacheCounters struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+	Entries       int     `json:"entries"`
+	Bytes         int64   `json:"bytes"`
+	MaxBytes      int64   `json:"max_bytes"`
+	TTLSeconds    float64 `json:"ttl_seconds"`
+}
+
 // --- Degradation: typed partial failure ---
 
 // ShardFailure records one shard range that could not answer a query.
